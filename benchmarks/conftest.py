@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures, printing
+the same rows/series (absolute numbers come from our simulator substrate;
+the *shapes* are what EXPERIMENTS.md compares).  Offline game profiles
+are expensive, so they are built once per session here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import GameProfile
+from repro.games.catalog import build_catalog
+from repro.games.tracegen import generate_corpus
+
+#: One corpus/profile seed for the whole harness → reproducible output.
+HARNESS_SEED = 3
+
+GAMES = ("dota2", "csgo", "genshin", "devil_may_cry", "contra")
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return build_catalog()
+
+
+@pytest.fixture(scope="session")
+def corpora(catalog):
+    """Profiling corpora per game (shared by Figs 5/6/14/15, Table I)."""
+    return {
+        name: generate_corpus(
+            catalog[name], n_players=6, sessions_per_player=5, seed=HARNESS_SEED
+        )
+        for name in GAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def profiles(catalog, corpora):
+    """Full offline profiles (all three predictor backends) per game."""
+    return {
+        name: GameProfile.build(
+            catalog[name], corpus=corpora[name], seed=HARNESS_SEED
+        )
+        for name in GAMES
+    }
+
+
+def print_block(text: str) -> None:
+    """Print a bench's reproduction output, framed for easy grepping."""
+    print()
+    print(text)
+    print()

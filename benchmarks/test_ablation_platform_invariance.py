@@ -1,0 +1,91 @@
+"""§IV-D ablation — platform migration invariance.
+
+"No matter what platform the game is migrated to, the number of stages
+and the logical relationship between the stages will not change …  The
+only thing that will change is the amount of resources consumed."
+
+We profile the same game on three platforms (the reference testbed, a
+weak-GPU host, a big server) and verify: same cluster count, same stage
+inventory size, same transition structure — only the demand magnitudes
+scale.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import HARNESS_SEED, print_block
+from repro.analysis.report import format_table
+from repro.core.pipeline import GameProfile
+from repro.games.tracegen import generate_corpus
+from repro.platform_.profile import (
+    BIG_SERVER_PLATFORM,
+    REFERENCE_PLATFORM,
+    WEAK_GPU_PLATFORM,
+)
+
+PLATFORMS = [REFERENCE_PLATFORM, WEAK_GPU_PLATFORM, BIG_SERVER_PLATFORM]
+
+
+def test_platform_invariance(catalog, benchmark):
+    spec = catalog["devil_may_cry"]  # the most stage-rich game
+    libraries = {}
+    for platform in PLATFORMS:
+        corpus = generate_corpus(
+            spec, n_players=4, sessions_per_player=3, seed=HARNESS_SEED,
+            platform=platform,
+        )
+        libraries[platform.name] = GameProfile.build(
+            spec, corpus=corpus, backends=("dtc",)
+        ).library
+
+    rows = []
+    for name, lib in libraries.items():
+        rows.append([
+            name,
+            lib.n_clusters,
+            len(lib.stage_types),
+            len(lib.execution_types),
+            float(lib.max_peak().cpu),
+            float(lib.max_peak().gpu),
+        ])
+    print_block(
+        format_table(
+            ["platform", "K", "stage types", "exec types", "peak cpu", "peak gpu"],
+            rows,
+            title="§IV-D: stage structure across platforms (Devil May Cry)",
+        )
+    )
+
+    ref = libraries[REFERENCE_PLATFORM.name]
+    for platform in PLATFORMS[1:]:
+        lib = libraries[platform.name]
+        # Invariant: cluster count and stage inventory size.
+        assert lib.n_clusters == ref.n_clusters
+        assert len(lib.stage_types) == len(ref.stage_types)
+        assert len(lib.execution_types) == len(ref.execution_types)
+        # Invariant: the transition structure has the same richness
+        # (same number of observed execution-to-execution edges).
+        ref_edges = sum(
+            len(ref.transition_counts(t)) for t in ref.execution_types
+        )
+        lib_edges = sum(
+            len(lib.transition_counts(t)) for t in lib.execution_types
+        )
+        assert lib_edges == ref_edges
+
+    # Variant: only the magnitudes move, in the direction of the factors.
+    assert (
+        libraries[WEAK_GPU_PLATFORM.name].max_peak().gpu
+        > ref.max_peak().gpu
+    )
+    assert (
+        libraries[BIG_SERVER_PLATFORM.name].max_peak().cpu
+        < ref.max_peak().cpu
+    )
+
+    corpus = generate_corpus(
+        spec, n_players=2, sessions_per_player=2, seed=0,
+        platform=WEAK_GPU_PLATFORM,
+    )
+    benchmark(
+        lambda: GameProfile.build(spec, corpus=corpus, backends=("dtc",))
+    )

@@ -1,0 +1,75 @@
+"""Figs 5 & 6 — stage types of CSGO and Devil May Cry by clustering.
+
+The paper clusters each game's 5-second frames (Fig 5a/6a: raw resource
+scatter; Fig 5b/6b: K-means result) and derives the stage types as
+cluster combinations.  We regenerate both panels: the fitted centroids
+and the discovered stage-type inventory per game.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_block
+from repro.analysis.report import format_table
+from repro.core.frames import frame_matrix
+from repro.mlkit.kmeans import KMeans
+
+
+def _report(game, profile):
+    lib = profile.library
+    center_rows = [
+        [i, c[0], c[1], c[2], c[3], "loading" if i in lib.loading_clusters else ""]
+        for i, c in enumerate(lib.centers)
+    ]
+    type_rows = [
+        [
+            repr(t),
+            "loading" if lib.stats(t).is_loading else "execution",
+            lib.stats(t).occurrences,
+            lib.stats(t).mean_duration_seconds(),
+            float(lib.stats(t).peak[0]),
+            float(lib.stats(t).peak[1]),
+        ]
+        for t in lib.stage_types
+    ]
+    return (
+        format_table(
+            ["cluster", "cpu", "gpu", "gpu_mem", "ram", "role"],
+            center_rows,
+            title=f"{game}: fitted frame-cluster centroids (K={lib.n_clusters})",
+        )
+        + "\n\n"
+        + format_table(
+            ["type", "kind", "n", "dur (s)", "peak cpu", "peak gpu"],
+            type_rows,
+            title=f"{game}: discovered stage types (cluster combinations)",
+        )
+    )
+
+
+def test_fig05_csgo_stage_types(profiles, benchmark, corpora):
+    profile = profiles["csgo"]
+    lib = profile.library
+    print_block(_report("CSGO (Fig 5)", profile))
+
+    assert lib.n_clusters == 4
+    # The match is a two-cluster stage type (move + firefight).
+    assert any(len(t) == 2 for t in lib.execution_types)
+    # Types stay within the paper's 2N bound (and well under 2^N).
+    assert len(lib.stage_types) <= 2 * lib.n_clusters
+
+    X = frame_matrix([b.series for b in corpora["csgo"]])
+    benchmark(lambda: KMeans(4, seed=0).fit(X))
+
+
+def test_fig06_dmc_stage_types(profiles, benchmark, corpora):
+    profile = profiles["devil_may_cry"]
+    lib = profile.library
+    print_block(_report("Devil May Cry (Fig 6)", profile))
+
+    assert lib.n_clusters == 6
+    # Single-cluster stages dominate a console campaign.
+    assert sum(len(t) == 1 for t in lib.execution_types) >= 4
+    assert len(lib.stage_types) <= 2 * lib.n_clusters
+
+    X = frame_matrix([b.series for b in corpora["devil_may_cry"]])
+    benchmark(lambda: KMeans(6, seed=0).fit(X))

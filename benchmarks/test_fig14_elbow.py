@@ -1,0 +1,67 @@
+"""Fig 14 — clustering SSE versus K, and the chosen cluster counts.
+
+"The SSEs remain few changes when K > 5" — each game's SSE-vs-K curve
+flattens at its characteristic cluster count, which the paper reads off
+by inspection: Contra 2, CSGO 4, Genshin 4, DOTA2 5, Devil May Cry 6.
+We print the normalised curves and compare the automatic elbow criterion
+against those published choices.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_block
+from repro.analysis.elbow import elbow_analysis
+from repro.analysis.report import format_series, format_table
+from repro.core.frames import frame_matrix
+from repro.mlkit.kmeans import sse_curve
+
+PAPER_K = {"contra": 2, "csgo": 4, "genshin": 4, "dota2": 5, "devil_may_cry": 6}
+
+
+def test_fig14_sse_elbows(catalog, corpora, benchmark):
+    rows = []
+    curves = []
+    matches = 0
+    for game, paper_k in PAPER_K.items():
+        analysis = elbow_analysis(catalog[game], corpora[game], seed=0)
+        rows.append([game, paper_k, analysis.chosen_k,
+                     "yes" if analysis.chosen_k == paper_k else "no"])
+        curves.append(
+            format_series(
+                f"{game} SSE/SSE(1) for K=1..10",
+                analysis.normalized_sses,
+                per_line=10,
+                fmt="{:7.3f}",
+            )
+        )
+        matches += analysis.chosen_k == paper_k
+    print_block(
+        format_table(
+            ["game", "paper K", "auto elbow K", "match"],
+            rows,
+            title="Fig 14: chosen cluster counts",
+        )
+        + "\n\n"
+        + "\n".join(curves)
+    )
+    # The automatic criterion must recover the published K for at least
+    # four of the five games on this corpus (K selection on overlapping
+    # telemetry is inherently fuzzy; EXPERIMENTS.md discusses this).
+    assert matches >= 4
+
+    # Every curve must actually flatten after the published K: the drops
+    # beyond it are small relative to the total span.
+    for game, paper_k in PAPER_K.items():
+        analysis = elbow_analysis(catalog[game], corpora[game], seed=0)
+        s = np.asarray(analysis.sses)
+        span = s[0] - s[-1]
+        idx = analysis.k_values.index(paper_k)
+        residual = (s[idx] - s[-1]) / span
+        # Contra keeps a larger residual: its traces are short and
+        # loading-dense, so loading/run boundary mixture frames form
+        # genuine (if uninteresting) sub-structure.  The paper chose its
+        # K=2 from game knowledge, not from the curve alone.
+        assert residual < 0.25, (game, residual)
+
+    X = frame_matrix([b.series for b in corpora["contra"]])
+    benchmark(lambda: sse_curve(X, range(1, 11), seed=0, n_init=4))

@@ -1,0 +1,126 @@
+"""Fig 15 — next-stage prediction accuracy per game and algorithm.
+
+The paper trains DTC, RF and GBDT per game on 75 % of the collected
+samples and tests on the rest: DTC exceeds ~92 % "in most cases"; DTC
+and RF drop on Genshin Impact (its task order is player-permuted) while
+"GBDT remains as is".  We regenerate the full game × backend accuracy
+matrix from the shared corpora.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_block
+from repro.analysis.report import format_table
+from repro.core.predictor import StagePredictor
+
+GAMES = ("contra", "csgo", "dota2", "devil_may_cry", "genshin")
+BACKENDS = ("dtc", "rf", "gbdt")
+
+
+def test_fig15_prediction_accuracy(profiles, benchmark):
+    acc = {
+        (g, b): profiles[g].accuracy(b) for g in GAMES for b in BACKENDS
+    }
+    rows = [
+        [g] + [acc[(g, b)] * 100 for b in BACKENDS] for g in GAMES
+    ]
+    print_block(
+        format_table(
+            ["game", "DTC %", "RF %", "GBDT %"],
+            rows,
+            title="Fig 15: next-stage prediction accuracy (held-out 25 %)",
+        )
+    )
+
+    # Non-Genshin games predict well (paper: DTC > 92 % in most cases;
+    # our synthetic corpora put every backend above 80 % there, with the
+    # best backend above ~90 %).
+    for g in GAMES:
+        if g == "genshin":
+            continue
+        assert max(acc[(g, b)] for b in BACKENDS) > 0.85, g
+        for b in BACKENDS:
+            assert acc[(g, b)] > 0.72, (g, b)
+
+    # Genshin is the hardest game for the tree models (player-permuted
+    # task order), matching the paper's Fig-15 dip.
+    genshin_best = max(acc[("genshin", b)] for b in BACKENDS)
+    others_best = min(
+        max(acc[(g, b)] for b in BACKENDS) for g in GAMES if g != "genshin"
+    )
+    assert genshin_best <= others_best + 0.02
+
+    # All accuracies beat the per-game chance level by a wide margin.
+    for g in GAMES:
+        n_types = len(profiles[g].library.execution_types)
+        chance = 1.0 / max(n_types, 2)
+        for b in BACKENDS:
+            assert acc[(g, b)] > chance + 0.2, (g, b)
+
+    # Timed portion: training one DTC predictor end-to-end.
+    profile = profiles["contra"]
+
+    def train_dtc():
+        predictor = StagePredictor(
+            profile.library, profile.spec.category, backend="dtc", seed=1
+        )
+        return predictor.train(profile.corpus_segments)
+
+    benchmark(train_dtc)
+
+
+def test_fig15_dataset_policy_ablation(profiles, benchmark):
+    """§IV-B1 ablation: per-category training-set selection versus the
+    naive pool-everything policy.
+
+    The paper's motivation for Fig 7's quadrants is that the *right*
+    sample-selection policy recovers predictability that pooling
+    destroys: per-player models capture a mobile player's favourite
+    order; co-login grouping reveals which mode an MMO party queued
+    for.  We train each game's DTC both ways and compare.
+    """
+    from benchmarks.conftest import print_block
+    from repro.analysis.report import format_table
+    from repro.games.category import GameCategory
+
+    rows = []
+    gains = {}
+    for game in ("genshin", "dota2", "devil_may_cry"):
+        profile = profiles[game]
+        category_pred = StagePredictor(
+            profile.library, profile.spec.category, backend="dtc", seed=1
+        )
+        acc_category = category_pred.train(profile.corpus_segments)
+        pooled_pred = StagePredictor(
+            profile.library, GameCategory.WEB, backend="dtc", seed=1
+        )
+        acc_pooled = pooled_pred.train(profile.corpus_segments)
+        rows.append([
+            game, profile.spec.category.dataset_policy,
+            acc_category * 100, acc_pooled * 100,
+            (acc_category - acc_pooled) * 100,
+        ])
+        gains[game] = acc_category - acc_pooled
+    print_block(
+        format_table(
+            ["game", "policy", "per-category %", "pooled %", "gain pts"],
+            rows,
+            title="§IV-B1 ablation: category-aware datasets vs pool-all",
+        )
+    )
+
+    # The structured policies must help where their structure exists —
+    # Genshin's per-player favourites and DOTA2's co-login context are
+    # invisible to the pooled policy.  Gains are modest at this corpus
+    # size but consistently positive.
+    assert gains["genshin"] > 0.015
+    assert gains["dota2"] > 0.01
+    # And never hurt anywhere.
+    for game, gain in gains.items():
+        assert gain > -0.03, (game, gain)
+
+    benchmark(
+        lambda: StagePredictor(
+            profiles["contra"].library, GameCategory.WEB, backend="dtc", seed=2
+        ).train(profiles["contra"].corpus_segments)
+    )

@@ -1,0 +1,80 @@
+"""Table I — evaluated workloads: scripts and their stage-type counts.
+
+Reproduces the paper's Table I: for every game and script, the number of
+distinct stage types, both as authored (the paper's ground-truth counts)
+and as recovered by the frame-grained profiler from telemetry alone.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.analysis.report import format_table
+from repro.core.profiler import FrameGrainedProfiler, ProfilerConfig
+
+# The paper's Table I column "# of stage type".
+PAPER_TABLE1 = {
+    ("dota2", "match-9-bots"): 3,
+    ("dota2", "arcade-tower-defense"): 3,
+    ("csgo", "match-9-bots"): 4,
+    ("csgo", "training-map"): 3,
+    ("devil_may_cry", "level-1"): 2,
+    ("devil_may_cry", "level-2"): 4,
+    ("devil_may_cry", "level-3"): 6,
+    ("genshin", "run-battle-fly"): 5,
+    ("genshin", "fly-battle-run"): 5,
+    ("genshin", "battle-run-fly"): 5,
+    ("contra", "level-1"): 2,
+    ("contra", "levels-1-2"): 2,
+    ("contra", "levels-1-3"): 2,
+}
+
+
+def test_table1_stage_type_counts(catalog, corpora, profiles, benchmark):
+    rows = []
+    exact = total = 0
+    for (game, script), paper_n in PAPER_TABLE1.items():
+        spec = catalog[game]
+        authored = spec.stage_type_count(script)
+        profile = profiles[game]
+        prof = FrameGrainedProfiler(
+            game, config=ProfilerConfig(n_clusters=len(spec.clusters))
+        )
+        prof.library_ = profile.library  # segment against the built library
+        profiled_counts = []
+        for bundle in corpora[game]:
+            if bundle.script != script:
+                continue
+            segs = prof.segment(bundle.frames().values)
+            profiled_counts.append(len({s.type_id for s in segs}))
+        med = (
+            sorted(profiled_counts)[len(profiled_counts) // 2]
+            if profiled_counts
+            else 0
+        )
+        description = spec.script(script).description
+        rows.append([game, script, description, paper_n, authored, med])
+        total += 1
+        exact += authored == paper_n
+    print_block(
+        format_table(
+            ["game", "script", "description", "paper", "authored", "profiled(med)"],
+            rows,
+            title="Table I: evaluated workloads — stage types per script",
+        )
+    )
+    # Authored counts must match the paper exactly; profiled counts must
+    # be within 1 (telemetry-only recovery).
+    assert exact == total
+    for row in rows:
+        assert abs(row[5] - row[3]) <= 1, row
+
+    # Timed portion: profiling one game's corpus end to end.
+    spec = catalog["genshin"]
+
+    def profile_genshin():
+        p = FrameGrainedProfiler(
+            "genshin", config=ProfilerConfig(n_clusters=len(spec.clusters))
+        )
+        return p.fit(corpora["genshin"][:6])
+
+    benchmark(profile_genshin)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: profile two games, co-locate them under CoCG, read results.
+
+This is the 60-second tour of the library's public API:
+
+1. build the five-game catalog (the paper's Table-I workloads);
+2. run the offline pipeline (trace corpus → frame clustering → stage
+   library → trained stage predictors) for two games;
+3. run a half-hour co-location experiment under the CoCG scheduler;
+4. print throughput (Eq 2), per-game QoS, and the scheduler's actions.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CoCGStrategy,
+    ColocationExperiment,
+    GameProfile,
+    build_catalog,
+)
+
+HORIZON = 1800  # half an hour of simulated play
+SEED = 7
+
+
+def main() -> None:
+    catalog = build_catalog()
+    print("Catalog:", ", ".join(sorted(catalog)))
+
+    # ---- offline: profile each game once --------------------------------
+    print("\nProfiling genshin and contra (clustering + predictor training)…")
+    profiles = {}
+    for name in ("genshin", "contra"):
+        profile = GameProfile.build(
+            catalog[name], n_players=4, sessions_per_player=4, seed=SEED
+        )
+        profiles[name] = profile
+        print(f"\n{profile.library.summary()}")
+        for backend, predictor in profile.predictors.items():
+            print(f"  {backend} next-stage accuracy: {predictor.accuracy_:.1%}")
+
+    # ---- online: co-locate under CoCG ------------------------------------
+    print(f"\nRunning {HORIZON}s of co-location under CoCG…")
+    strategy = CoCGStrategy()
+    result = ColocationExperiment(
+        profiles, strategy, horizon=HORIZON, seed=SEED
+    ).run()
+
+    print(f"\nThroughput (Eq 2):    {result.throughput:,.0f} game-seconds")
+    print(f"Completed runs:       {result.completed_runs}")
+    print(f"Co-located seconds:   {result.colocated_seconds} / {HORIZON}")
+    print(f"Peak combined usage:  {result.peak_total_usage.round(1)} (cap 95)")
+    print(f"Seconds over cap:     {result.over_cap_seconds}")
+    for game in profiles:
+        fob = result.fraction_of_best[game]
+        vio = result.violation_fraction[game]
+        print(
+            f"  {game:8} FPS at {fob:.0%} of best, "
+            f"below 30 FPS {vio:.1%} of the time"
+        )
+    scheduler = strategy.scheduler
+    print(
+        f"Scheduler actions:    {scheduler.admissions} admissions, "
+        f"{scheduler.rejections} rejections, "
+        f"{scheduler.regulator.holds_started} loading holds "
+        f"({scheduler.regulator.hold_seconds_total:.0f}s stolen)"
+    )
+
+
+if __name__ == "__main__":
+    main()

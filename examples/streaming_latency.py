@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""End-to-end cloud-game streaming latency (the Fig-1 workflow).
+
+Exercises the GamingAnywhere-style pipeline substrate on its own: for a
+matrix of codecs, resolutions and client devices, stream one second of
+play and decompose the glass-to-glass latency (capture → encode →
+network → decode → display), plus the encoder CPU overhead the
+co-location budget must carry per hosted session.
+
+The paper quotes a < 3 ms network target for interaction-grade play;
+this example shows where that budget sits inside the full pipeline.
+
+Run:  python examples/streaming_latency.py
+"""
+
+from repro.analysis.report import format_table
+from repro.streaming import ClientModel, EncoderModel, NetworkModel, StreamingPipeline
+
+
+def main() -> None:
+    network = NetworkModel(base_latency_ms=2.0, jitter_ms=0.2, seed=0)
+    print(
+        "Network meets the paper's <3 ms target at 30 Mbps offered load:",
+        network.meets_paper_target(30.0),
+    )
+
+    rows = []
+    for codec in ("h264", "h265", "av1"):
+        for width, height, label in (
+            (1280, 720, "720p"),
+            (1920, 1080, "1080p"),
+            (2560, 1440, "1440p"),
+        ):
+            for device in ("desktop", "phone"):
+                pipeline = StreamingPipeline(
+                    encoder=EncoderModel(codec=codec, width=width, height=height),
+                    network=NetworkModel(jitter_ms=0.0, seed=0),
+                    client=ClientModel(device=device),
+                )
+                breakdown, cpu = pipeline.stream_second(60)
+                rows.append([
+                    codec, label, device,
+                    breakdown.encode_ms, breakdown.network_ms,
+                    breakdown.decode_ms, breakdown.total_ms,
+                    "yes" if breakdown.interaction_grade(50.0) else "NO",
+                    cpu,
+                ])
+    print("\n" + format_table(
+        ["codec", "res", "client", "encode ms", "net ms", "decode ms",
+         "total ms", "<50ms", "enc CPU %"],
+        rows,
+        title="Glass-to-glass latency at 60 FPS (per-frame milliseconds)",
+    ))
+
+    # How the encode overhead scales with the FPS the scheduler sustains.
+    enc = EncoderModel()
+    fps_rows = [[fps, enc.cpu_overhead(fps)] for fps in (15, 30, 60, 120)]
+    print("\n" + format_table(
+        ["FPS", "encoder CPU %"],
+        fps_rows,
+        title="Encoder overhead charged per hosted session (1080p h264)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""CoCG: fine-grained cloud-game co-location on heterogeneous platforms.
+
+A faithful, self-contained reproduction of *"CoCG: Fine-grained Cloud
+Game Co-location on Heterogeneous Platform"* (Wang et al., IPDPS 2024):
+the frame-grained game profiler, the ML-based stage predictor, and the
+complementary resource scheduler — plus every substrate they need
+(synthetic cloud-game workloads, a heterogeneous server/QoS model, a
+GamingAnywhere-style streaming pipeline, an ML toolkit, and the
+baselines the paper compares against).
+
+Quickstart::
+
+    from repro import build_catalog, GameProfile, CoCGStrategy, ColocationExperiment
+
+    catalog = build_catalog()
+    profiles = {name: GameProfile.build(spec, seed=0)
+                for name, spec in catalog.items()
+                if name in ("genshin", "contra")}
+    result = ColocationExperiment(profiles, CoCGStrategy(),
+                                  horizon=3600, seed=0).run()
+    print(result.throughput, result.completed_runs)
+
+See ``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core.pipeline import GameProfile
+from repro.core.profiler import FrameGrainedProfiler, ProfilerConfig
+from repro.core.predictor import StagePredictor
+from repro.core.scheduler import CoCGConfig, CoCGScheduler
+from repro.games.catalog import build_catalog
+from repro.games.session import GameSession
+from repro.games.tracegen import generate_corpus, generate_trace
+from repro.baselines import (
+    CoCGStrategy,
+    GAugurStrategy,
+    MaxStaticStrategy,
+    ReactiveStrategy,
+    VBPStrategy,
+)
+from repro.platform_.allocator import Allocator
+from repro.platform_.server import GPUDevice, Server
+from repro.workloads.experiment import ColocationExperiment, ExperimentResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_catalog",
+    "GameSession",
+    "generate_trace",
+    "generate_corpus",
+    "FrameGrainedProfiler",
+    "ProfilerConfig",
+    "StagePredictor",
+    "GameProfile",
+    "CoCGScheduler",
+    "CoCGConfig",
+    "CoCGStrategy",
+    "ReactiveStrategy",
+    "GAugurStrategy",
+    "VBPStrategy",
+    "MaxStaticStrategy",
+    "Server",
+    "GPUDevice",
+    "Allocator",
+    "ColocationExperiment",
+    "ExperimentResult",
+    "__version__",
+]

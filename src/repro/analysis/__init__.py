@@ -1,0 +1,19 @@
+"""Analysis and reporting helpers used by the benchmark harness.
+
+* :mod:`~repro.analysis.elbow` — the Fig-14 SSE-vs-K analysis;
+* :mod:`~repro.analysis.report` — plain-text tables the benches print;
+* :mod:`~repro.analysis.savings` — the Fig-10 allocated-vs-max savings
+  accounting.
+"""
+
+from repro.analysis.elbow import ElbowAnalysis, elbow_analysis
+from repro.analysis.report import format_series, format_table
+from repro.analysis.savings import allocation_savings
+
+__all__ = [
+    "ElbowAnalysis",
+    "elbow_analysis",
+    "format_table",
+    "format_series",
+    "allocation_savings",
+]

@@ -1,0 +1,69 @@
+"""The Fig-14 clustering analysis: SSE vs K and the chosen elbow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.frames import frame_matrix
+from repro.games.spec import GameSpec
+from repro.games.tracegen import TraceBundle
+from repro.mlkit.kmeans import elbow_k, sse_curve
+from repro.util.rng import Seed
+
+__all__ = ["ElbowAnalysis", "elbow_analysis"]
+
+
+@dataclass(frozen=True)
+class ElbowAnalysis:
+    """One game's SSE-vs-K sweep (one panel of the paper's Fig 14)."""
+
+    game: str
+    k_values: Tuple[int, ...]
+    sses: Tuple[float, ...]
+    chosen_k: int
+    published_k: int
+
+    @property
+    def normalized_sses(self) -> np.ndarray:
+        """SSE divided by SSE(K=min) — comparable across games."""
+        s = np.asarray(self.sses)
+        return s / s[0]
+
+    def matches_published(self) -> bool:
+        """Whether the automatic elbow equals the paper's chosen K."""
+        return self.chosen_k == self.published_k
+
+
+def elbow_analysis(
+    spec: GameSpec,
+    bundles: Sequence[TraceBundle],
+    *,
+    k_values: Sequence[int] = tuple(range(1, 11)),
+    seed: Seed = 0,
+) -> ElbowAnalysis:
+    """Run the K sweep for one game's trace corpus.
+
+    Parameters
+    ----------
+    spec:
+        The game (its cluster count is the published K).
+    bundles:
+        Profiling traces.
+    k_values:
+        Candidate K values (strictly increasing).
+    seed:
+        Clustering seed.
+    """
+    X = frame_matrix([b.series for b in bundles])
+    ks = [k for k in k_values if k <= X.shape[0]]
+    sses = sse_curve(X, ks, seed=seed)
+    return ElbowAnalysis(
+        game=spec.name,
+        k_values=tuple(ks),
+        sses=tuple(float(s) for s in sses),
+        chosen_k=elbow_k(ks, sses),
+        published_k=len(spec.clusters),
+    )

@@ -1,0 +1,65 @@
+"""Plain-text table/series formatting for the benchmark harness.
+
+The benches print the same rows and series the paper reports; these
+helpers keep the output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], *, title: str = ""
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats are shown with 3 significant decimals; everything else with
+    ``str``.
+    """
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}" if abs(value) < 1000 else f"{value:.1f}"
+        return str(value)
+
+    str_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    name: str, values: Sequence[float], *, per_line: int = 12, fmt: str = "{:7.1f}"
+) -> str:
+    """Render a numeric series in wrapped rows (for trace printouts)."""
+    if per_line < 1:
+        raise ValueError(f"per_line must be >= 1, got {per_line}")
+    lines = [f"{name}:"]
+    row: List[str] = []
+    for i, v in enumerate(values):
+        row.append(fmt.format(v))
+        if (i + 1) % per_line == 0:
+            lines.append(" ".join(row))
+            row = []
+    if row:
+        lines.append(" ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Fig-10 accounting: stage-predictive allocation vs max reservation.
+
+The paper reports that allocating per predicted stage instead of at the
+whole-game maximum saves 27.3 % of resources on Genshin Impact and
+17.5 % on average across the five games; these helpers compute the same
+quantity from an experiment's telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.timeseries import ResourceSeries
+
+__all__ = ["AllocationSavings", "allocation_savings"]
+
+
+@dataclass(frozen=True)
+class AllocationSavings:
+    """Savings of an allocation timeline against a static reservation.
+
+    Attributes
+    ----------
+    mean_allocated:
+        Time-averaged allocation per dimension.
+    static_reservation:
+        The constant max-reservation it is compared against.
+    savings_fraction:
+        ``1 − mean(allocated)/static`` on the binding (max) dimension.
+    coverage:
+        Fraction of seconds where the allocation covered the demand on
+        every dimension (Fig 10's "basically cover" claim).
+    """
+
+    mean_allocated: np.ndarray
+    static_reservation: np.ndarray
+    savings_fraction: float
+    coverage: float
+
+
+def allocation_savings(
+    allocated: ResourceSeries,
+    demand: ResourceSeries,
+    static_reservation: np.ndarray,
+) -> AllocationSavings:
+    """Compare an allocation timeline with the static max reservation.
+
+    Parameters
+    ----------
+    allocated:
+        Granted ceilings over time (telemetry ``allocation_series``).
+    demand:
+        True demand over the same window.
+    static_reservation:
+        The per-dimension constant a max-reserving scheduler would hold.
+    """
+    if len(allocated) != len(demand):
+        raise ValueError(
+            f"allocated has {len(allocated)} samples, demand has {len(demand)}"
+        )
+    if len(allocated) == 0:
+        raise ValueError("empty series")
+    static = np.asarray(static_reservation, dtype=float)
+    if static.shape != (allocated.n_dims,):
+        raise ValueError(
+            f"static_reservation must have shape ({allocated.n_dims},), got {static.shape}"
+        )
+    mean_alloc = allocated.values.mean(axis=0)
+    # Savings on the binding dimension (the one the static reservation is
+    # sized by), matching the paper's single-percentage framing.
+    binding = int(np.argmax(static))
+    savings = 1.0 - mean_alloc[binding] / max(static[binding], 1e-9)
+    covered = np.all(allocated.values + 1e-6 >= demand.values, axis=1)
+    return AllocationSavings(
+        mean_allocated=mean_alloc,
+        static_reservation=static,
+        savings_fraction=float(savings),
+        coverage=float(covered.mean()),
+    )

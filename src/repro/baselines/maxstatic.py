@@ -1,0 +1,41 @@
+"""The modest baseline: whole-run maximum reservation.
+
+"The modest way is to default that each cloud game consumes the same
+resources from the start of the operation to the end of the application
+and allocate them based on this" (§V-A).  Every game is reserved at its
+profiled peak for its entire run; admission succeeds only when that peak
+fits in what is left.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import SchedulingStrategy
+from repro.core.allocation import AllocationPlanner
+from repro.games.session import GameSession
+from repro.platform_.allocator import AllocationError
+
+__all__ = ["MaxStaticStrategy"]
+
+
+class MaxStaticStrategy(SchedulingStrategy):
+    """Reserve the whole-game peak, never retune."""
+
+    name = "max-static"
+
+    def try_admit(self, session: GameSession, *, time: float) -> bool:
+        """Admit iff the whole-game peak fits under the cap."""
+        allocator = self._require_attached()
+        profile = self.profile_of(session)
+        planner = AllocationPlanner(profile.library, accuracy=1.0)
+        peak = planner.peak_plan()
+        try:
+            allocator.place(session.session_id, peak, time=time)
+        except AllocationError:
+            self.rejections += 1
+            return False
+        self.admissions += 1
+        return True
+
+    def release(self, session_id: str, *, time: float) -> None:
+        """Free the peak reservation."""
+        self._require_attached().release(session_id, time=time)

@@ -1,0 +1,255 @@
+"""Command-line interface.
+
+Four subcommands cover the operator workflow the paper describes:
+
+* ``cocg catalog`` — list the evaluated games and their structure;
+* ``cocg profile GAME -o FILE`` — run the offline pipeline once and
+  persist the artifact (frame clustering + stage library + trained
+  predictors);
+* ``cocg colocate GAME [GAME …]`` — run a co-location experiment under a
+  chosen strategy and print throughput/QoS;
+* ``cocg fleet GAME [GAME …]`` — dispatch Poisson arrivals over a small
+  heterogeneous fleet.
+
+Run ``python -m repro.cli --help`` (or the installed ``cocg`` script).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_STRATEGIES = ("cocg", "reactive", "gaugur", "vbp", "max-static")
+
+
+def _make_strategy(name: str):
+    from repro.baselines import (
+        CoCGStrategy,
+        GAugurStrategy,
+        MaxStaticStrategy,
+        ReactiveStrategy,
+        VBPStrategy,
+    )
+
+    return {
+        "cocg": CoCGStrategy,
+        "reactive": ReactiveStrategy,
+        "gaugur": GAugurStrategy,
+        "vbp": VBPStrategy,
+        "max-static": MaxStaticStrategy,
+    }[name]()
+
+
+def _load_or_build_profiles(
+    games: Sequence[str], args
+) -> Dict[str, "GameProfile"]:
+    from pathlib import Path
+
+    from repro.core.pipeline import GameProfile
+    from repro.games.catalog import build_catalog
+
+    catalog = build_catalog()
+    unknown = [g for g in games if g not in catalog]
+    if unknown:
+        raise SystemExit(
+            f"unknown game(s) {unknown}; available: {', '.join(sorted(catalog))}"
+        )
+    profiles = {}
+    for game in games:
+        path = Path(args.profiles_dir) / f"{game}.profile.json" if args.profiles_dir else None
+        if path is not None and path.exists():
+            profiles[game] = GameProfile.load(path, catalog[game])
+            print(f"loaded profile: {path}")
+        else:
+            print(f"profiling {game} (no saved profile)…")
+            profiles[game] = GameProfile.build(
+                catalog[game],
+                n_players=args.players,
+                sessions_per_player=args.sessions,
+                seed=args.seed,
+            )
+            if path is not None:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                profiles[game].save(path)
+                print(f"saved profile: {path}")
+    return profiles
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+def cmd_catalog(args) -> int:
+    """``cocg catalog``: list the evaluated games and their structure."""
+    from repro.games.catalog import build_catalog
+
+    catalog = build_catalog()
+    print(f"{'game':14} {'category':8} {'K':>2} {'lock':>5} {'length':7} scripts")
+    print("-" * 70)
+    for name, spec in sorted(catalog.items()):
+        lock = f"{spec.frame_lock:.0f}" if spec.frame_lock else "-"
+        length = "long" if spec.long_term else "short"
+        scripts = ", ".join(s.name for s in spec.scripts)
+        print(
+            f"{name:14} {spec.category.value:8} {len(spec.clusters):>2} "
+            f"{lock:>5} {length:7} {scripts}"
+        )
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """``cocg profile``: run the offline pipeline, optionally persist."""
+    from repro.core.pipeline import GameProfile
+    from repro.games.catalog import build_catalog
+
+    catalog = build_catalog()
+    if args.game not in catalog:
+        raise SystemExit(
+            f"unknown game {args.game!r}; available: {', '.join(sorted(catalog))}"
+        )
+    profile = GameProfile.build(
+        catalog[args.game],
+        n_players=args.players,
+        sessions_per_player=args.sessions,
+        seed=args.seed,
+    )
+    print(profile.library.summary())
+    for backend, predictor in sorted(profile.predictors.items()):
+        print(f"{backend}: next-stage accuracy {predictor.accuracy_:.1%}")
+    if args.output:
+        profile.save(args.output)
+        print(f"saved: {args.output}")
+    return 0
+
+
+def cmd_colocate(args) -> int:
+    """``cocg colocate``: run one co-location experiment and report."""
+    from repro.workloads.experiment import ColocationExperiment
+
+    profiles = _load_or_build_profiles(args.games, args)
+    strategy = _make_strategy(args.strategy)
+    result = ColocationExperiment(
+        profiles, strategy, horizon=args.horizon, seed=args.seed
+    ).run()
+    print(f"\nstrategy:           {result.strategy}")
+    print(f"throughput (Eq 2):  {result.throughput:,.0f} game-seconds")
+    print(f"completed runs:     {result.completed_runs}")
+    print(f"co-located seconds: {result.colocated_seconds}/{result.horizon}")
+    print(f"peak usage:         {np.round(result.peak_total_usage, 1)} (cap 95)")
+    print(f"over-cap seconds:   {result.over_cap_seconds}")
+    for game in sorted(profiles):
+        fob = result.fraction_of_best[game]
+        if not np.isnan(fob):
+            print(f"  {game:14} {fob:.0%} of best FPS")
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    """``cocg fleet``: Poisson arrivals over a (possibly heterogeneous)
+    fleet of CoCG- or baseline-scheduled nodes."""
+    from repro.cluster import ClusterScheduler, FleetExperiment, FleetNode
+    from repro.games.catalog import build_catalog
+    from repro.platform_.profile import (
+        BIG_SERVER_PLATFORM,
+        REFERENCE_PLATFORM,
+        WEAK_GPU_PLATFORM,
+    )
+
+    catalog = build_catalog()
+    profiles = _load_or_build_profiles(args.games, args)
+    platforms = [REFERENCE_PLATFORM, WEAK_GPU_PLATFORM, BIG_SERVER_PLATFORM]
+    nodes = [
+        FleetNode(
+            f"node-{i}",
+            _make_strategy(args.strategy),
+            profiles,
+            platform=platforms[i % len(platforms)] if args.heterogeneous
+            else REFERENCE_PLATFORM,
+            seed=args.seed + i,
+        )
+        for i in range(args.nodes)
+    ]
+    cluster = ClusterScheduler(nodes, policy=args.policy)
+    result = FleetExperiment(
+        cluster,
+        [catalog[g] for g in args.games],
+        horizon=args.horizon,
+        rate_per_minute=args.rate,
+        seed=args.seed,
+    ).run()
+    print(f"\nfleet of {args.nodes} nodes, policy={args.policy}")
+    print(f"throughput (Eq 2):  {result.throughput:,.0f} game-seconds")
+    print(f"completed runs:     {result.completed_runs}")
+    print(f"mean wait:          {result.mean_wait_seconds:.1f}s "
+          f"({result.deferrals} deferrals, {result.waiting} still queued)")
+    print(f"fraction of best:   {result.fraction_of_best:.0%}")
+    for node_id, gpu in sorted(result.per_node_mean_gpu.items()):
+        print(f"  {node_id:8} mean GPU {gpu:5.1f} %  "
+              f"runs {result.per_node_completed.get(node_id, {})}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="cocg",
+        description="CoCG: fine-grained cloud game co-location (IPDPS'24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("catalog", help="list the evaluated games").set_defaults(
+        func=cmd_catalog
+    )
+
+    p = sub.add_parser("profile", help="run the offline pipeline for one game")
+    p.add_argument("game")
+    p.add_argument("-o", "--output", help="save the profile JSON here")
+    p.add_argument("--players", type=int, default=6)
+    p.add_argument("--sessions", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_profile)
+
+    c = sub.add_parser("colocate", help="co-locate games on one server")
+    c.add_argument("games", nargs="+")
+    c.add_argument("--strategy", choices=_STRATEGIES, default="cocg")
+    c.add_argument("--horizon", type=int, default=3600)
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--players", type=int, default=5)
+    c.add_argument("--sessions", type=int, default=4)
+    c.add_argument("--profiles-dir", help="cache profiles here")
+    c.set_defaults(func=cmd_colocate)
+
+    f = sub.add_parser("fleet", help="Poisson arrivals over a fleet")
+    f.add_argument("games", nargs="+")
+    f.add_argument("--nodes", type=int, default=3)
+    f.add_argument("--policy", choices=("first-fit", "best-fit", "round-robin"),
+                   default="first-fit")
+    f.add_argument("--strategy", choices=_STRATEGIES, default="cocg")
+    f.add_argument("--heterogeneous", action="store_true",
+                   help="mix reference/weak-GPU/big-server platforms")
+    f.add_argument("--rate", type=float, default=1.0, help="arrivals per minute")
+    f.add_argument("--horizon", type=int, default=2400)
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--players", type=int, default=4)
+    f.add_argument("--sessions", type=int, default=3)
+    f.add_argument("--profiles-dir", help="cache profiles here")
+    f.set_defaults(func=cmd_fleet)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""The cluster scheduler: one dispatcher, many backend servers.
+
+The paper's Fig-1 platform is "one cloud game scheduler and multiple
+cloud game backend servers"; §IV-D argues CoCG scales to such fleets
+because a game's stage structure is platform-invariant — one profiling
+pass serves every (heterogeneous) server after a per-platform demand
+rescale.
+
+* :class:`~repro.cluster.fleet.FleetNode` — one backend server with its
+  own scheduler, telemetry and QoS tracking, optionally on a non-
+  reference platform (profiles are rescaled via §IV-D).
+* :class:`~repro.cluster.fleet.ClusterScheduler` — the dispatcher:
+  routes each request to a node by policy (first-fit / best-fit /
+  round-robin); once placed, a game never migrates (cloud games cannot
+  be migrated or stopped, §I).
+* :class:`~repro.cluster.experiment.FleetExperiment` — the fleet-scale
+  driver over Poisson arrivals.
+"""
+
+from repro.cluster.fleet import ClusterScheduler, FleetNode
+from repro.cluster.experiment import FleetExperiment, FleetResult
+
+__all__ = ["FleetNode", "ClusterScheduler", "FleetExperiment", "FleetResult"]

@@ -1,0 +1,165 @@
+"""Fleet-scale experiment driver: Poisson arrivals over a cluster.
+
+Open-loop requests arrive at the cluster scheduler; rejected requests
+wait in a queue and are retried every detection interval ("the selected
+game will continuously run requests until the distributor passes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.fleet import ClusterScheduler, FleetNode
+from repro.core.pipeline import GameProfile
+from repro.games.spec import GameSpec
+from repro.util.rng import Seed, derive_seed
+from repro.workloads.metrics import throughput_eq2
+from repro.workloads.requests import GameRequest, PoissonArrivals
+
+__all__ = ["FleetResult", "FleetExperiment"]
+
+
+@dataclass
+class FleetResult:
+    """Fleet-wide outcome of one run.
+
+    Attributes
+    ----------
+    completed_runs:
+        ``N_i`` per game, summed over nodes.
+    throughput:
+        Eq-2 over the fleet.
+    per_node_completed:
+        Completed runs per node.
+    per_node_mean_gpu:
+        Time-averaged GPU utilisation per node.
+    fraction_of_best:
+        Fleet-wide FPS / best-FPS, time-weighted.
+    waiting:
+        Requests still queued at the horizon.
+    deferrals:
+        Dispatch attempts that found no willing node.
+    mean_wait_seconds:
+        Mean time a *served* request waited between arrival and start.
+    """
+
+    completed_runs: Dict[str, int]
+    throughput: float
+    per_node_completed: Dict[str, Dict[str, int]]
+    per_node_mean_gpu: Dict[str, float]
+    fraction_of_best: float
+    waiting: int
+    deferrals: int
+    mean_wait_seconds: float
+
+
+class FleetExperiment:
+    """Poisson arrivals over a :class:`ClusterScheduler`.
+
+    Parameters
+    ----------
+    cluster:
+        The fleet (already built, strategies attached).
+    specs:
+        Game mix for the arrival process.
+    horizon:
+        Simulated seconds.
+    rate_per_minute:
+        Expected arrivals per minute.
+    seed:
+        Arrival/session randomness.
+    detect_interval:
+        Control/retry period.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterScheduler,
+        specs: Sequence[GameSpec],
+        *,
+        horizon: int = 3600,
+        rate_per_minute: float = 1.0,
+        seed: Seed = 0,
+        detect_interval: int = 5,
+    ):
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        if detect_interval < 1:
+            raise ValueError(f"detect_interval must be >= 1, got {detect_interval}")
+        self.cluster = cluster
+        self.specs = list(specs)
+        self.horizon = int(horizon)
+        self.detect_interval = int(detect_interval)
+        self._base_seed = seed if isinstance(seed, int) or seed is None else 0
+        self.arrivals = PoissonArrivals(
+            self.specs,
+            rate_per_minute=rate_per_minute,
+            seed=derive_seed(self._base_seed, "arrivals"),
+            horizon=float(horizon),
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> FleetResult:
+        """Execute the run and aggregate fleet-wide results."""
+        waiting: List[GameRequest] = []
+        started_waits: List[float] = []
+        session_seed = 0
+
+        for t in range(self.horizon):
+            waiting.extend(self.arrivals.due(float(t), float(t + 1)))
+            if t % self.detect_interval == 0:
+                still: List[GameRequest] = []
+                for request in waiting:
+                    session_seed += 1
+                    node = self.cluster.dispatch(
+                        request,
+                        time=float(t),
+                        seed=derive_seed(self._base_seed, "s", str(session_seed)),
+                    )
+                    if node is None:
+                        still.append(request)
+                    else:
+                        started_waits.append(t - request.arrival)
+                waiting = still
+            self.cluster.tick(t)
+            if (t + 1) % self.detect_interval == 0:
+                self.cluster.control(float(t + 1))
+
+        return self._aggregate(waiting, started_waits)
+
+    # ------------------------------------------------------------------
+    def _aggregate(
+        self, waiting: List[GameRequest], started_waits: List[float]
+    ) -> FleetResult:
+        completed = self.cluster.completed_runs()
+        durations = {spec.name: spec.expected_duration() for spec in self.specs}
+        per_node_completed = {
+            node.node_id: dict(node.completed) for node in self.cluster.nodes
+        }
+        per_node_mean_gpu = {}
+        fob_num = 0.0
+        fob_den = 0
+        for node in self.cluster.nodes:
+            total = node.telemetry.total_usage_matrix(self.horizon)
+            per_node_mean_gpu[node.node_id] = float(total[:, 1].mean())
+            for sid in node.qos.session_ids:
+                report = node.qos.report(sid)
+                fob_num += report.fraction_of_best * report.seconds
+                fob_den += report.seconds
+        return FleetResult(
+            completed_runs=completed,
+            throughput=throughput_eq2(
+                completed, {g: durations[g] for g in completed}
+            ),
+            per_node_completed=per_node_completed,
+            per_node_mean_gpu=per_node_mean_gpu,
+            fraction_of_best=fob_num / fob_den if fob_den else float("nan"),
+            waiting=len(waiting),
+            deferrals=self.cluster.deferred,
+            mean_wait_seconds=(
+                float(np.mean(started_waits)) if started_waits else 0.0
+            ),
+        )

@@ -1,0 +1,227 @@
+"""Fleet nodes and the cluster-level dispatcher.
+
+A :class:`FleetNode` bundles everything one backend server needs: the
+server model, its capped allocator, a scheduling strategy (CoCG or any
+baseline), telemetry, and QoS tracking.  Nodes may sit on different
+platforms — the §IV-D migration rule rescales each game profile once per
+platform, keeping the trained predictors.
+
+:class:`ClusterScheduler` is the front door: it receives launch requests
+and routes each to a node.  Placement is final (cloud games cannot be
+migrated, §I), so the dispatch policy is the only fleet-level decision:
+
+* ``first-fit`` — first node whose admission test passes (fast, the
+  OnLive-style policy the related work describes);
+* ``best-fit`` — among admitting nodes, the one with the *least*
+  headroom after placement (bin-packing pressure, consolidates load);
+* ``round-robin`` — rotate the starting node (load spreading).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import SchedulingStrategy
+from repro.core.pipeline import GameProfile
+from repro.games.session import GameSession
+from repro.platform_.allocator import Allocator
+from repro.platform_.profile import PlatformProfile, REFERENCE_PLATFORM
+from repro.platform_.qos import QoSTracker
+from repro.platform_.server import GPUDevice, Server
+from repro.sim.telemetry import TelemetryRecorder
+from repro.util.rng import Seed, derive_seed
+from repro.util.validation import check_in
+from repro.workloads.requests import GameRequest
+
+__all__ = ["FleetNode", "ClusterScheduler"]
+
+
+class FleetNode:
+    """One backend server and its local control plane.
+
+    Parameters
+    ----------
+    node_id:
+        Unique node name.
+    strategy:
+        The node's scheduling strategy (each node owns its own instance).
+    profiles:
+        Reference-platform game profiles; rescaled to this node's
+        platform automatically (§IV-D).
+    platform:
+        The node's hardware class.
+    server:
+        Optional explicit server model; default one-GPU node.
+    utilization_cap:
+        Allocator budget fraction.
+    seed:
+        Telemetry-noise seed.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        strategy: SchedulingStrategy,
+        profiles: Dict[str, GameProfile],
+        *,
+        platform: PlatformProfile = REFERENCE_PLATFORM,
+        server: Optional[Server] = None,
+        utilization_cap: float = 0.95,
+        seed: Seed = 0,
+    ):
+        self.node_id = str(node_id)
+        self.platform = platform
+        self.server = (
+            server if server is not None else Server(node_id, gpus=[GPUDevice()])
+        )
+        self.allocator = Allocator(self.server, utilization_cap=utilization_cap)
+        if platform is not REFERENCE_PLATFORM:
+            profiles = {
+                name: profile.rescaled(platform)
+                for name, profile in profiles.items()
+            }
+        self.profiles = profiles
+        self.strategy = strategy
+        self.strategy.attach(self.allocator, profiles)
+        self.telemetry = TelemetryRecorder(seed=derive_seed(seed, "tel", node_id))
+        self.qos = QoSTracker()
+        self.sessions: Dict[str, GameSession] = {}
+        self.completed: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def try_admit(self, request: GameRequest, *, time: float, seed: int) -> bool:
+        """Instantiate the request's session *on this node's platform*
+        and offer it to the local strategy."""
+        session = GameSession(
+            request.spec,
+            request.script,
+            player=request.player,
+            seed=seed,
+            platform=self.platform,
+            session_id=f"{request.spec.name}-r{request.request_id}@{self.node_id}",
+        )
+        if self.strategy.try_admit(session, time=time):
+            self.sessions[session.session_id] = session
+            return True
+        return False
+
+    def tick(self, t: int) -> None:
+        """Advance every hosted session one second."""
+        for sid in list(self.sessions):
+            session = self.sessions[sid]
+            allocation = self.strategy.allocation_of(sid)
+            tick = session.advance(allocation)
+            self.telemetry.record(t, sid, tick.demand, allocation)
+            self.qos.record_second(
+                sid,
+                tick.nominal_fps,
+                tick.demand,
+                allocation,
+                frame_lock=tick.frame_lock,
+            )
+            if tick.finished:
+                self.strategy.release(sid, time=t)
+                self.completed[session.spec.name] = (
+                    self.completed.get(session.spec.name, 0) + 1
+                )
+                del self.sessions[sid]
+
+    def control(self, t: float) -> None:
+        """Run the node's periodic control loop."""
+        self.strategy.control(t, self.telemetry)
+
+    # ------------------------------------------------------------------
+    def headroom(self) -> float:
+        """Relative slack of the tightest dimension (0 = full)."""
+        return self.server.headroom_fraction()
+
+    @property
+    def n_running(self) -> int:
+        """Sessions currently hosted on this node."""
+        return len(self.sessions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FleetNode({self.node_id!r}, platform={self.platform.name!r}, "
+            f"running={self.n_running})"
+        )
+
+
+class ClusterScheduler:
+    """The Fig-1 cloud-game scheduler: routes requests across nodes.
+
+    Parameters
+    ----------
+    nodes:
+        The fleet.
+    policy:
+        ``"first-fit"``, ``"best-fit"`` or ``"round-robin"``.
+    """
+
+    POLICIES = ("first-fit", "best-fit", "round-robin")
+
+    def __init__(self, nodes: Sequence[FleetNode], *, policy: str = "first-fit"):
+        if not nodes:
+            raise ValueError("a cluster needs at least one node")
+        ids = [n.node_id for n in nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate node ids: {ids}")
+        check_in("policy", policy, self.POLICIES)
+        self.nodes: List[FleetNode] = list(nodes)
+        self.policy = policy
+        self._rr = 0
+        self.dispatched = 0
+        self.deferred = 0
+
+    # ------------------------------------------------------------------
+    def dispatch(self, request: GameRequest, *, time: float, seed: int) -> Optional[FleetNode]:
+        """Place one request; returns the hosting node or ``None``.
+
+        A ``None`` means every node's admission test rejected the game
+        right now — the request should be retried later (requests queue;
+        they are never dropped).
+        """
+        order = self._candidate_order(request)
+        for node in order:
+            if node.try_admit(request, time=time, seed=seed):
+                self.dispatched += 1
+                return node
+        self.deferred += 1
+        return None
+
+    def _candidate_order(self, request: GameRequest) -> List[FleetNode]:
+        if self.policy == "round-robin":
+            k = self._rr % len(self.nodes)
+            self._rr += 1
+            return self.nodes[k:] + self.nodes[:k]
+        if self.policy == "best-fit":
+            # Try the fullest nodes first: consolidates games so empty
+            # nodes stay empty (bin-packing pressure).
+            return sorted(self.nodes, key=lambda n: n.headroom())
+        return list(self.nodes)  # first-fit
+
+    # ------------------------------------------------------------------
+    def tick(self, t: int) -> None:
+        """Advance every node one second."""
+        for node in self.nodes:
+            node.tick(t)
+
+    def control(self, t: float) -> None:
+        """Run every node's control loop."""
+        for node in self.nodes:
+            node.control(t)
+
+    @property
+    def total_running(self) -> int:
+        """Sessions currently hosted across the fleet."""
+        return sum(node.n_running for node in self.nodes)
+
+    def completed_runs(self) -> Dict[str, int]:
+        """Fleet-wide completed runs per game."""
+        out: Dict[str, int] = {}
+        for node in self.nodes:
+            for game, n in node.completed.items():
+                out[game] = out.get(game, 0) + n
+        return out

@@ -1,0 +1,133 @@
+"""Dynamic adjustment of prediction errors (paper §IV-B2).
+
+Three emergency mechanisms revise the predictor's output:
+
+* **Rehearsal callback** — when the observed frame matches neither the
+  believed stage nor loading, either (a) re-match it to the correct
+  known stage and jump there, or (b) recognise a transient that *looked*
+  like loading and revert to the previous stage.  The scheduler drives
+  the state machine; this module supplies the bookkeeping.
+* **Redundancy allocation** (Eq 1) — the callback ceiling carries a
+  margin ``S = (1 − P) · M`` where ``P`` is the model's accuracy and
+  ``M`` the game's peak consumption: the worse the model, the larger the
+  safety cushion.
+* **Replacing model** — after repeated errors, rotate to the next
+  backend; the rotation order follows the paper's per-category
+  recommendation (DTC for long/heavy games, RF for small/simple ones,
+  GBDT for user-dominated ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.predictor import BACKENDS
+from repro.games.category import GameCategory
+from repro.platform_.resources import ResourceVector
+from repro.util.validation import check_fraction
+
+__all__ = ["redundancy_allocation", "backend_rotation", "DynamicAdjuster"]
+
+
+def redundancy_allocation(accuracy: float, peak: ResourceVector) -> ResourceVector:
+    """Eq 1: ``S = (1 − P) × M``.
+
+    Parameters
+    ----------
+    accuracy:
+        Predictor accuracy ``P`` in [0, 1].
+    peak:
+        The game's peak consumption ``M``.
+    """
+    check_fraction("accuracy", accuracy)
+    return peak * (1.0 - accuracy)
+
+
+def backend_rotation(category: GameCategory) -> Tuple[str, ...]:
+    """Model-replacement order per game category (§IV-B2).
+
+    "For tasks with a large amount of computation and a long running
+    time, DTC is more suitable.  For simple, small tasks, RF.  GBDT is
+    relatively stable, so it is more suitable for games with a large
+    impact on users."
+    """
+    if category in (GameCategory.MOBILE, GameCategory.MMO):
+        return ("gbdt", "dtc", "rf")
+    if category is GameCategory.WEB:
+        return ("rf", "dtc", "gbdt")
+    return ("dtc", "gbdt", "rf")  # CONSOLE: big, long-running tasks
+
+
+@dataclass
+class DynamicAdjuster:
+    """Error bookkeeping for one hosted session.
+
+    Parameters
+    ----------
+    category:
+        The game's category (sets the rotation order).
+    replace_after:
+        Consecutive-error threshold that triggers model replacement.
+
+    Notes
+    -----
+    The two §IV-B2 callback flavours are driven by the scheduler:
+
+    * a MISMATCH judgment with a re-matched known type calls
+      :meth:`record_error` and jumps;
+    * a loading judgment that reverts within one detection interval (the
+      misjudged transient of Figs 9/10) calls :meth:`record_transient`,
+      which counts as an error but also tracks the revert statistics the
+      benches report.
+    """
+
+    category: GameCategory
+    replace_after: int = 3
+    consecutive_errors: int = 0
+    total_errors: int = 0
+    total_predictions: int = 0
+    transients_reverted: int = 0
+    replacements: int = 0
+    _backend_idx: int = 0
+
+    def __post_init__(self) -> None:
+        if self.replace_after < 1:
+            raise ValueError(f"replace_after must be >= 1, got {self.replace_after}")
+        self._rotation = backend_rotation(self.category)
+
+    @property
+    def current_backend(self) -> str:
+        """The backend the session should currently use."""
+        return self._rotation[self._backend_idx % len(self._rotation)]
+
+    def record_success(self) -> None:
+        """A prediction was confirmed by the next detection."""
+        self.total_predictions += 1
+        self.consecutive_errors = 0
+
+    def record_error(self) -> bool:
+        """A prediction error (rehearsal callback fired).
+
+        Returns True when the model should be replaced now.
+        """
+        self.total_predictions += 1
+        self.total_errors += 1
+        self.consecutive_errors += 1
+        if self.consecutive_errors >= self.replace_after:
+            self.consecutive_errors = 0
+            self._backend_idx += 1
+            self.replacements += 1
+            return True
+        return False
+
+    def record_transient(self) -> None:
+        """A loading misjudgment was reverted (second callback flavour)."""
+        self.transients_reverted += 1
+
+    @property
+    def observed_accuracy(self) -> float:
+        """Online accuracy estimate (1 until evidence accumulates)."""
+        if self.total_predictions == 0:
+            return 1.0
+        return 1.0 - self.total_errors / self.total_predictions

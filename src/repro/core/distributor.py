@@ -1,0 +1,164 @@
+"""The game distributor — Algorithm 1 (paper §IV-C1).
+
+Decides whether a pending game may join a server that is already running
+games.  The test follows the paper's pseudocode:
+
+1. group the running tasks by (stage, cluster) and sum their current
+   consumption; if the sum plus the newcomer's entry consumption already
+   fits, admit;
+2. otherwise roll the predictors forward ``horizon`` iterations
+   (``N = Total.iteration``), take the maximum predicted co-consumption
+   ``M``, and admit only when ``M + Consumption_{S_i}`` stays within the
+   capacity.
+
+The newcomer's entry consumption is its boot-loading plan — games always
+start by loading (cheap on the GPU), which is what makes fine-grained
+admission so much more permissive than whole-game peak reservation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.stages import StageLibrary, StageTypeId
+from repro.platform_.resources import ResourceVector
+
+__all__ = ["RunningTaskView", "AdmissionDecision", "Distributor"]
+
+
+class RunningTaskView(Protocol):
+    """What the distributor needs to know about one running session."""
+
+    @property
+    def current_allocation(self) -> ResourceVector:
+        """The task's current ceiling."""
+        ...
+
+    def predicted_peaks(self, horizon: int) -> List[ResourceVector]:
+        """Predicted per-step allocation peaks for the next stages."""
+        ...
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of Algorithm 1.
+
+    Attributes
+    ----------
+    admitted:
+        The Algorithm-1 ``P``.
+    reason:
+        Human-readable explanation.
+    predicted_peak:
+        The co-consumption ``M`` + newcomer that was tested (if any).
+    """
+
+    admitted: bool
+    reason: str
+    predicted_peak: Optional[ResourceVector] = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.admitted
+
+
+class Distributor:
+    """Algorithm-1 admission control.
+
+    Parameters
+    ----------
+    capacity:
+        The scheduler's budget vector (capacity × utilisation cap).
+    horizon:
+        Prediction iterations ``N`` rolled forward per running task.
+    overshoot_tolerance:
+        Fractional overshoot of the *predicted* peak that is still
+        admitted (§IV-D: players tolerate brief degradation; static
+        policies use 0).
+    """
+
+    def __init__(
+        self,
+        capacity: ResourceVector,
+        *,
+        horizon: int = 3,
+        overshoot_tolerance: float = 0.0,
+    ):
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        if overshoot_tolerance < 0:
+            raise ValueError(
+                f"overshoot_tolerance must be >= 0, got {overshoot_tolerance}"
+            )
+        self.capacity = capacity
+        self.horizon = int(horizon)
+        self.overshoot_tolerance = float(overshoot_tolerance)
+
+    # ------------------------------------------------------------------
+    def can_admit(
+        self,
+        entry_consumption: ResourceVector,
+        steady_peak: ResourceVector,
+        running: Sequence[RunningTaskView],
+    ) -> AdmissionDecision:
+        """Algorithm 1.
+
+        Parameters
+        ----------
+        entry_consumption:
+            The newcomer's consumption when it starts (boot loading).
+        steady_peak:
+            The newcomer's typical execution-stage peak — used against
+            the *predicted* co-consumption so a game is only admitted
+            where it can actually play, not merely boot.
+        running:
+            Views of the tasks already on the server.
+        """
+        budget = self.capacity * (1.0 + self.overshoot_tolerance)
+
+        # Lines 3–9: sum the running tasks' current consumption.  Loading
+        # tasks are counted at their compressible (time-stealable)
+        # footprint when the view provides one.
+        current = ResourceVector.zeros()
+        for task in running:
+            min_alloc = getattr(task, "min_allocation", None)
+            current = current + (min_alloc() if callable(min_alloc) else task.current_allocation)
+        if not (current + entry_consumption).fits_within(self.capacity):
+            return AdmissionDecision(
+                False,
+                "current co-consumption leaves no room even to boot",
+                predicted_peak=current + entry_consumption,
+            )
+
+        if not running:
+            ok = steady_peak.fits_within(budget)
+            return AdmissionDecision(
+                ok,
+                "empty server" if ok else "game exceeds server capacity alone",
+                predicted_peak=steady_peak,
+            )
+
+        # Lines 10–25: roll predictions forward and test the max.
+        per_task_peaks: List[List[ResourceVector]] = [
+            task.predicted_peaks(self.horizon) for task in running
+        ]
+        worst = ResourceVector.zeros()
+        for step in range(self.horizon):
+            step_total = ResourceVector.zeros()
+            for peaks in per_task_peaks:
+                if peaks:
+                    step_total = step_total + peaks[min(step, len(peaks) - 1)]
+            worst = worst.maximum(step_total)
+
+        predicted = worst + steady_peak
+        if predicted.fits_within(budget):
+            return AdmissionDecision(
+                True, "predicted co-consumption fits", predicted_peak=predicted
+            )
+        return AdmissionDecision(
+            False,
+            "predicted stage peaks collide beyond tolerance",
+            predicted_peak=predicted,
+        )

@@ -1,0 +1,49 @@
+"""Frame extraction: 1-second telemetry → the paper's 5-second frames.
+
+"Each frame cluster represents the amount of resources consumed in a
+certain 5-second slice" (§IV-A2).  These helpers are deliberately tiny —
+a frame is just the mean of five consecutive telemetry rows — but they
+pin the convention (mean aggregation, trailing partial windows dropped)
+in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.timeseries import ResourceSeries
+
+__all__ = ["FRAME_SECONDS", "frames_of_series", "frame_matrix"]
+
+#: The paper's detection interval: every loading stage exceeds 5 s, so a
+#: 5-second frame can never straddle an entire loading stage unseen.
+FRAME_SECONDS = 5
+
+
+def frames_of_series(series: ResourceSeries, *, frame_seconds: int = FRAME_SECONDS) -> ResourceSeries:
+    """Aggregate a 1-second series into frames (mean per window)."""
+    if frame_seconds < 1:
+        raise ValueError(f"frame_seconds must be >= 1, got {frame_seconds}")
+    return series.resample(float(frame_seconds), reduce="mean")
+
+
+def frame_matrix(
+    series_list: Sequence[ResourceSeries], *, frame_seconds: int = FRAME_SECONDS
+) -> np.ndarray:
+    """Stack the frames of many traces into one ``(N, D)`` matrix.
+
+    The profiler clusters this matrix; traces contribute only complete
+    frames.
+    """
+    if not series_list:
+        raise ValueError("series_list must be non-empty")
+    parts = []
+    for series in series_list:
+        frames = frames_of_series(series, frame_seconds=frame_seconds)
+        if frames.n_samples:
+            parts.append(frames.values)
+    if not parts:
+        raise ValueError("no complete frames in any input series")
+    return np.concatenate(parts, axis=0)

@@ -1,0 +1,314 @@
+"""The frame-grained game profiler (paper §IV-A).
+
+Pipeline, run offline once per game ("contention feature profiling and
+model training only need to be performed once"):
+
+1. **Cluster frames.**  All complete 5-second frames of the input traces
+   are pooled and K-means-clustered; K is chosen at the elbow of the
+   SSE-vs-K curve (Fig 14) unless fixed explicitly.
+2. **Identify loading clusters.**  Observation 3: a loading screen
+   pre-computes the next scene — CPU-heavy, GPU-idle (the screen is
+   black).  Clusters whose GPU/CPU centroid ratio falls below a threshold
+   are loading behaviour.
+3. **Segment each trace into stages.**  Loading frames delimit execution
+   runs (Observation 2).  Within an execution run, a persistent shift to
+   an unseen cluster starts a new stage, while clusters that *interleave*
+   (the sequence keeps returning to already-seen clusters) are folded
+   into one multi-cluster stage — the paper's "secret realm with bosses
+   in any order" situation.
+4. **Build the stage library**: per-type peak/mean/duration statistics
+   and the empirical transition structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.frames import FRAME_SECONDS, frames_of_series
+from repro.core.stages import Segment, StageLibrary, StageTypeId
+from repro.mlkit.kmeans import KMeans, elbow_k, sse_curve
+from repro.util.rng import Seed
+from repro.util.timeseries import ResourceSeries
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["ProfilerConfig", "FrameGrainedProfiler"]
+
+
+@dataclass(frozen=True)
+class ProfilerConfig:
+    """Tuning knobs of the profiler.
+
+    Parameters
+    ----------
+    k_values:
+        Candidate cluster counts for the Fig-14 elbow sweep.
+    n_clusters:
+        Fixed K; overrides the elbow when given.
+    frame_seconds:
+        Frame length (paper: 5 s).
+    loading_gpu_cpu_ratio:
+        A cluster is loading when centroid ``gpu / cpu`` is below this
+        (black screen, busy CPU).
+    min_loading_cpu:
+        … and its CPU centroid is at least this (guards against idle
+        clusters).
+    lookahead_frames:
+        Interleave window: a new cluster merges into the current stage if
+        any already-seen cluster returns within this many frames.
+    min_presence:
+        Minimum fraction of a segment's frames a cluster needs to count
+        toward the stage type (filters misclassified flicker frames).
+    min_exec_frames:
+        Execution segments shorter than this are stage-boundary
+        artifacts (a frame straddling two stages) and are absorbed into
+        the neighbouring execution segment.
+    elbow_tol:
+        Flattening tolerance when the ``flatten`` elbow method is used.
+    seed:
+        Clustering seed.
+    """
+
+    k_values: Tuple[int, ...] = tuple(range(1, 11))
+    n_clusters: Optional[int] = None
+    frame_seconds: int = FRAME_SECONDS
+    loading_gpu_cpu_ratio: float = 0.3
+    min_loading_cpu: float = 10.0
+    lookahead_frames: int = 14
+    min_presence: float = 0.12
+    min_exec_frames: int = 2
+    elbow_tol: float = 0.03
+    seed: Seed = 0
+
+    def __post_init__(self) -> None:
+        if self.n_clusters is not None and self.n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {self.n_clusters}")
+        if len(self.k_values) < 3 and self.n_clusters is None:
+            raise ValueError("k_values needs >= 3 entries for the elbow sweep")
+        if self.frame_seconds < 1:
+            raise ValueError(f"frame_seconds must be >= 1, got {self.frame_seconds}")
+        check_positive("loading_gpu_cpu_ratio", self.loading_gpu_cpu_ratio)
+        if self.lookahead_frames < 1:
+            raise ValueError(
+                f"lookahead_frames must be >= 1, got {self.lookahead_frames}"
+            )
+        check_fraction("min_presence", self.min_presence)
+
+
+def _as_series(trace) -> ResourceSeries:
+    """Accept a ResourceSeries or anything exposing ``.series``."""
+    if isinstance(trace, ResourceSeries):
+        return trace
+    series = getattr(trace, "series", None)
+    if isinstance(series, ResourceSeries):
+        return series
+    raise TypeError(
+        f"expected ResourceSeries or TraceBundle-like object, got {type(trace)!r}"
+    )
+
+
+class FrameGrainedProfiler:
+    """Builds a :class:`~repro.core.stages.StageLibrary` from traces.
+
+    Parameters
+    ----------
+    game:
+        Game name the library is for.
+    config:
+        Profiler configuration.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    library_:
+        The built stage library.
+    kmeans_:
+        The fitted clustering model.
+    sse_curve_:
+        SSE per candidate K (``None`` when K was fixed).
+    chosen_k_:
+        Selected cluster count.
+    """
+
+    def __init__(self, game: str, *, config: Optional[ProfilerConfig] = None):
+        self.game = str(game)
+        self.config = config if config is not None else ProfilerConfig()
+
+    # ------------------------------------------------------------------
+    def fit(self, traces: Sequence) -> StageLibrary:
+        """Profile a set of traces (ResourceSeries or TraceBundles)."""
+        if not traces:
+            raise ValueError("traces must be non-empty")
+        cfg = self.config
+        frame_series = [
+            frames_of_series(_as_series(t), frame_seconds=cfg.frame_seconds)
+            for t in traces
+        ]
+        frame_series = [f for f in frame_series if f.n_samples > 0]
+        if not frame_series:
+            raise ValueError("no complete frames in any trace")
+        X = np.concatenate([f.values for f in frame_series], axis=0)
+
+        if cfg.n_clusters is not None:
+            k = min(cfg.n_clusters, X.shape[0])
+            self.sse_curve_ = None
+        else:
+            k_values = [kv for kv in cfg.k_values if kv <= X.shape[0]]
+            self.sse_curve_ = sse_curve(X, k_values, seed=cfg.seed)
+            k = elbow_k(k_values, self.sse_curve_, tol=cfg.elbow_tol)
+        self.chosen_k_ = int(k)
+        self.kmeans_ = KMeans(k, seed=cfg.seed).fit(X)
+
+        loading = self._identify_loading_clusters(self.kmeans_.cluster_centers_)
+        library = StageLibrary(
+            self.game,
+            self.kmeans_.cluster_centers_,
+            loading,
+            frame_seconds=cfg.frame_seconds,
+        )
+        for frames in frame_series:
+            library.observe_segments(self.segment_with(library, frames.values))
+        self.library_ = library
+        return library
+
+    # ------------------------------------------------------------------
+    def _identify_loading_clusters(self, centers: np.ndarray) -> List[int]:
+        """Observation-3 heuristic: CPU-busy, GPU-idle clusters load."""
+        cfg = self.config
+        cpu = centers[:, 0]
+        gpu = centers[:, 1]
+        ratio = gpu / np.maximum(cpu, 1e-9)
+        mask = (ratio < cfg.loading_gpu_cpu_ratio) & (cpu >= cfg.min_loading_cpu)
+        if not mask.any():
+            # Fall back to the single most loading-like cluster so every
+            # library has a loading type (Obs 2 guarantees one exists).
+            mask = np.zeros_like(mask)
+            mask[int(np.argmin(ratio))] = True
+        return [int(i) for i in np.flatnonzero(mask)]
+
+    # ------------------------------------------------------------------
+    def segment_with(
+        self, library: StageLibrary, frames: np.ndarray
+    ) -> List[Segment]:
+        """Segment a frame matrix into stages against a library.
+
+        Exposed separately so already-built libraries can segment new
+        traces (the online path reuses the same logic frame by frame).
+        """
+        frames = np.asarray(frames, dtype=float)
+        if frames.ndim != 2 or frames.shape[0] == 0:
+            raise ValueError(f"frames must be a non-empty 2-D matrix, got {frames.shape}")
+        centers = library.centers
+        d = (
+            np.einsum("nd,nd->n", frames, frames)[:, None]
+            - 2.0 * frames @ centers.T
+            + np.einsum("kd,kd->k", centers, centers)[None, :]
+        )
+        labels = d.argmin(axis=1)
+        loading_mask = np.isin(labels, sorted(library.loading_clusters))
+
+        segments: List[Segment] = []
+        i = 0
+        n = len(labels)
+        while i < n:
+            if loading_mask[i]:
+                j = i
+                while j < n and loading_mask[j]:
+                    j += 1
+                segments.append(self._make_segment(frames, labels, i, j, True))
+                i = j
+            else:
+                j = i
+                while j < n and not loading_mask[j]:
+                    j += 1
+                segments.extend(self._segment_execution(frames, labels, i, j))
+                i = j
+        return segments
+
+    def segment(self, frames: np.ndarray) -> List[Segment]:
+        """Segment against the fitted library."""
+        if not hasattr(self, "library_"):
+            raise RuntimeError("profiler is not fitted; call fit() first")
+        return self.segment_with(self.library_, frames)
+
+    # ------------------------------------------------------------------
+    def _segment_execution(
+        self, frames: np.ndarray, labels: np.ndarray, lo: int, hi: int
+    ) -> List[Segment]:
+        """Split one execution run into stages via the interleave rule."""
+        W = self.config.lookahead_frames
+        runs: List[Tuple[int, int, int]] = []  # (cluster, start, end)
+        s = lo
+        for i in range(lo + 1, hi + 1):
+            if i == hi or labels[i] != labels[s]:
+                runs.append((int(labels[s]), s, i))
+                s = i
+
+        bounds: List[Tuple[int, int]] = []
+        seen = {runs[0][0]}
+        seg_start = lo
+        for cluster, start, end in runs[1:]:
+            if cluster in seen:
+                continue
+            if end - start < 2:
+                # A single-frame excursion is burst/noise, not a stage:
+                # absorb it (the presence filter keeps it out of the type).
+                continue
+            window = labels[start : min(start + W, hi)]
+            # Require two returning frames: one could be a burst/noise
+            # misclassification, a real interleave keeps coming back.
+            returns = int(np.sum(np.isin(window, list(seen))))
+            if returns >= 2:
+                seen.add(cluster)  # interleaved — same stage
+            else:
+                bounds.append((seg_start, start))
+                seg_start = start
+                seen = {cluster}
+        bounds.append((seg_start, hi))
+
+        # Absorb boundary artifacts: segments shorter than min_exec_frames
+        # are frames straddling a stage transition, not real stages.
+        min_len = self.config.min_exec_frames
+        merged: List[Tuple[int, int]] = []
+        for b in bounds:
+            if merged and (
+                b[1] - b[0] < min_len or merged[-1][1] - merged[-1][0] < min_len
+            ):
+                merged[-1] = (merged[-1][0], b[1])
+            else:
+                merged.append(b)
+        return [
+            self._make_segment(frames, labels, s, e, False) for s, e in merged
+        ]
+
+    def _make_segment(
+        self,
+        frames: np.ndarray,
+        labels: np.ndarray,
+        start: int,
+        end: int,
+        is_loading: bool,
+    ) -> Segment:
+        window = frames[start:end]
+        seg_labels = labels[start:end]
+        counts = np.bincount(seg_labels)
+        total = end - start
+        threshold = max(1, int(np.ceil(self.config.min_presence * total)))
+        members = [int(c) for c in np.flatnonzero(counts >= threshold)]
+        if not members:
+            members = [int(np.argmax(counts))]
+        # Statistics over member-cluster frames only: boundary/burst frames
+        # belonging to other clusters would inflate the stage peak and the
+        # allocations planned from it.
+        member_mask = np.isin(seg_labels, members)
+        stats_window = window[member_mask] if member_mask.any() else window
+        return Segment(
+            type_id=StageTypeId(members),
+            start_frame=start,
+            end_frame=end,
+            is_loading=is_loading,
+            peak=stats_window.max(axis=0),
+            mean=stats_window.mean(axis=0),
+            q95=np.quantile(stats_window, 0.95, axis=0),
+        )

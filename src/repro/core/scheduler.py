@@ -1,0 +1,615 @@
+"""The CoCG scheduler: the online control loop over one server.
+
+Every ``detect_interval`` seconds (paper: 5 s — longer than any loading
+stage, so no loading can slip through unseen), the scheduler runs the
+four-step cycle of Fig 8 for every hosted session:
+
+1. **Real-time data collection** — read the last telemetry window.
+2. **Stage judgment** — SAME / LOADING / MISMATCH against the believed
+   stage (``StagePredictor.judge``).
+3. **Next-stage prediction** — on entering loading, predict the next
+   execution stage from the stage history.
+4. **Resource adjustment** — retune the cgroup ceilings: predicted-stage
+   peak + Eq-1 redundancy for execution, loading plan (possibly
+   throttled by the regulator's time stealing) for loading.
+
+The §IV-B2 dynamic adjustments are embedded in the state machine:
+rehearsal callback (both flavours), redundancy allocation, and model
+replacement after repeated errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.adjustment import DynamicAdjuster, backend_rotation
+from repro.core.allocation import AllocationPlanner
+from repro.core.distributor import AdmissionDecision, Distributor
+from repro.core.pipeline import GameProfile
+from repro.core.predictor import Judgment, JudgmentKind, StagePredictor
+from repro.core.regulator import Regulator, RegulatorConfig
+from repro.core.stages import StageTypeId
+from repro.games.session import GameSession
+from repro.platform_.allocator import Allocator
+from repro.platform_.resources import ResourceVector
+from repro.sim.telemetry import TelemetryRecorder
+from repro.streaming.encoder import EncoderModel
+
+__all__ = ["CoCGConfig", "CoCGScheduler", "SessionControl", "Decision"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One entry of the scheduler's decision log.
+
+    ``action`` is one of: ``admit``, ``reject``, ``stage-end`` (loading
+    detected, next stage predicted), ``stage-start`` (prediction
+    confirmed), ``callback`` (rehearsal callback, either flavour),
+    ``transient-revert``, ``hold`` (loading extended), ``probe``
+    (starved ceiling raised), ``release``.
+    """
+
+    time: float
+    session_id: str
+    action: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class CoCGConfig:
+    """Scheduler tuning (defaults = the paper's settings).
+
+    Parameters
+    ----------
+    detect_interval:
+        Detection period in seconds.
+    horizon:
+        Distributor prediction iterations (Algorithm-1 ``N``).
+    overshoot_tolerance:
+        Admission tolerance on predicted peaks (§IV-D: brief degradation
+        is compensated, so CoCG co-locates "as much as possible").
+    use_redundancy:
+        Apply the Eq-1 margin (ablation switch).
+    replace_after:
+        Consecutive errors before model replacement.
+    regulator:
+        Regulator configuration.
+    stream_encoder:
+        Charge each session this encoder's CPU overhead (``None`` = off).
+    """
+
+    detect_interval: int = 5
+    horizon: int = 3
+    overshoot_tolerance: float = 0.10
+    use_redundancy: bool = True
+    replace_after: int = 3
+    regulator: RegulatorConfig = field(default_factory=RegulatorConfig)
+    stream_encoder: Optional[EncoderModel] = None
+
+    def __post_init__(self) -> None:
+        if self.detect_interval < 1:
+            raise ValueError(
+                f"detect_interval must be >= 1, got {self.detect_interval}"
+            )
+
+
+class SessionControl:
+    """Per-session scheduler state (also the distributor's task view)."""
+
+    def __init__(
+        self,
+        session: GameSession,
+        profile: GameProfile,
+        planner: AllocationPlanner,
+        backend: str,
+        replace_after: int,
+        steal_fraction: float = 0.2,
+    ):
+        self.session = session
+        self.profile = profile
+        self.planner = planner
+        self.backend = backend
+        self.steal_fraction = float(steal_fraction)
+        self.adjuster = DynamicAdjuster(
+            profile.spec.category, replace_after=replace_after
+        )
+        self.phase: str = "loading"  # sessions always boot by loading
+        self.believed: Optional[StageTypeId] = None
+        self.prev_exec: Optional[StageTypeId] = None
+        self.exec_history: List[StageTypeId] = []
+        self.predicted: Optional[StageTypeId] = None
+        self.predicted_conf: float = 0.0
+        self.maybe_transient: bool = False
+        self.redundant: bool = False
+        self.hold_seconds: float = 0.0
+        self._peaks_cache: Dict[int, List[ResourceVector]] = {}
+        self.desired: ResourceVector = planner.for_loading()
+        # Prime the first prediction from the empty history.
+        self._predict_next()
+
+    # ------------------------------------------------------------------
+    @property
+    def predictor(self) -> StagePredictor:
+        """The trained predictor for the session's current backend."""
+        preds = self.profile.predictors
+        if self.backend in preds:
+            return preds[self.backend]
+        return next(iter(preds.values()))
+
+    @property
+    def player_id(self) -> str:
+        """The controlling player's stable id."""
+        return self.session.player.player_id
+
+    def _predict_next(self) -> None:
+        self.predicted, self.predicted_conf = self.predictor.predict_next(
+            self.exec_history, player_id=self.player_id
+        )
+
+    def _rotate_backend(self) -> None:
+        self.backend = self.adjuster.current_backend
+        acc = self.profile.predictors.get(self.backend)
+        if acc is not None and acc.accuracy_ is not None:
+            self.planner.set_accuracy(acc.accuracy_)
+
+    # ------------------------------------------------------------------
+    # RunningTaskView protocol
+    # ------------------------------------------------------------------
+    @property
+    def current_allocation(self) -> ResourceVector:
+        """The ceiling the session currently wants (RunningTaskView)."""
+        return self.desired
+
+    def min_allocation(self) -> ResourceVector:
+        """Smallest viable ceiling right now.
+
+        A loading session is compressible — its progress rate scales with
+        the CPU grant (time stealing) — so the distributor counts it at
+        its throttled footprint when testing whether a newcomer can boot.
+        """
+        if self.phase == "loading":
+            return self.planner.throttled_loading(self.steal_fraction)
+        return self.desired
+
+    def predicted_peaks(self, horizon: int) -> List[ResourceVector]:
+        """Rolled-forward allocation peaks for the distributor.
+
+        Cached between control ticks: the rollout only depends on state
+        the 5-second control loop mutates, while the distributor may ask
+        for it once per queued request per admission round.
+        """
+        cached = self._peaks_cache.get(horizon)
+        if cached is not None:
+            return cached
+        peaks: List[ResourceVector] = []
+        hist = list(self.exec_history)
+        current = self.believed if self.phase == "execution" else self.predicted
+        for _ in range(horizon):
+            if current is None:
+                peaks.append(self.desired)
+                break
+            peaks.append(self.planner.for_execution(current, redundancy=False))
+            hist.append(current)
+            current, _conf = self.predictor.predict_next(
+                hist, player_id=self.player_id
+            )
+        self._peaks_cache[horizon] = peaks
+        return peaks
+
+
+class CoCGScheduler:
+    """CoCG control over one server.
+
+    Parameters
+    ----------
+    allocator:
+        The server's (capped) allocation front end.
+    config:
+        Scheduler configuration.
+
+    Notes
+    -----
+    The scheduler never reads a session's ground truth — only the
+    telemetry windows handed to :meth:`control`.
+    """
+
+    def __init__(self, allocator: Allocator, *, config: Optional[CoCGConfig] = None):
+        self.allocator = allocator
+        self.config = config if config is not None else CoCGConfig()
+        budget = allocator.capped_capacity(0)
+        self.distributor = Distributor(
+            budget,
+            horizon=self.config.horizon,
+            overshoot_tolerance=self.config.overshoot_tolerance,
+        )
+        self.regulator = Regulator(budget, config=self.config.regulator)
+        self._sessions: Dict[str, SessionControl] = {}
+        self._last_window: Optional[np.ndarray] = None
+        self._now: float = 0.0
+        self.decision_log: List[Decision] = []
+        self.rejections = 0
+        self.admissions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def sessions(self) -> Dict[str, SessionControl]:
+        """Hosted sessions' control state (read-only copy)."""
+        return dict(self._sessions)
+
+    def allocation_of(self, session_id: str) -> ResourceVector:
+        """The ceiling currently granted to a hosted session."""
+        return self.allocator.allocation_of(session_id)
+
+    def _log(self, session_id: str, action: str, detail: str = "") -> None:
+        self.decision_log.append(Decision(self._now, session_id, action, detail))
+
+    def _make_planner(self, profile: GameProfile, backend: str) -> AllocationPlanner:
+        return AllocationPlanner(
+            profile.library,
+            accuracy=profile.accuracy(backend),
+            encoder=self.config.stream_encoder,
+        )
+
+    # ------------------------------------------------------------------
+    # Admission (the distributor front end)
+    # ------------------------------------------------------------------
+    def try_admit(
+        self,
+        session: GameSession,
+        profile: GameProfile,
+        *,
+        time: float = 0.0,
+        gpu_index: Optional[int] = None,
+    ) -> AdmissionDecision:
+        """Algorithm-1 admission; on success the session is placed."""
+        backend = next(
+            (
+                b
+                for b in backend_rotation(profile.spec.category)
+                if b in profile.predictors
+            ),
+            next(iter(profile.predictors)),
+        )
+        planner = self._make_planner(profile, backend)
+        entry = planner.for_loading()
+        # The boot itself is compressible (time stealing applies to it
+        # too), so admission tests the throttled footprint.
+        entry_min = planner.throttled_loading(self.config.regulator.steal_fraction)
+        steady = self._typical_plan(planner)
+        decision = self.distributor.can_admit(
+            entry_min, steady, list(self._sessions.values())
+        )
+        if not decision.admitted:
+            self.rejections += 1
+            self._now = time
+            self._log(session.session_id, "reject", decision.reason)
+            return decision
+        gi = gpu_index if gpu_index is not None else self.allocator.gpu_order()[0]
+        throttled = planner.throttled_loading(self.config.regulator.steal_fraction)
+        grant = entry.minimum(self.allocator.capped_available(gi)).maximum(
+            throttled.minimum(entry)
+        )
+        try:
+            self.allocator.place(session.session_id, grant, gpu_index=gi, time=time)
+        except Exception:
+            self.rejections += 1
+            return AdmissionDecision(False, "placement failed under the cap")
+        ctl = SessionControl(
+            session,
+            profile,
+            planner,
+            backend,
+            self.config.replace_after,
+            steal_fraction=self.config.regulator.steal_fraction,
+        )
+        if not self.config.use_redundancy:
+            ctl.planner.set_accuracy(1.0)  # zero Eq-1 margin
+        ctl.desired = entry
+        self._sessions[session.session_id] = ctl
+        self.admissions += 1
+        self._now = time
+        self._log(session.session_id, "admit", decision.reason)
+        return decision
+
+    @staticmethod
+    def _typical_plan(planner: AllocationPlanner) -> ResourceVector:
+        """Frame-weighted median execution-stage plan (the game's
+        *typical* play ceiling, used as Algorithm-1's newcomer term)."""
+        lib = planner.library
+        types = lib.execution_types
+        if not types:
+            return planner.peak_plan()
+        weighted = sorted(
+            ((lib.stats(t).total_frames, t) for t in types),
+            key=lambda x: planner.for_execution(x[1], redundancy=False).max_component(),
+        )
+        total = sum(w for w, _ in weighted)
+        acc = 0
+        for w, t in weighted:
+            acc += w
+            if acc * 2 >= total:
+                return planner.for_execution(t, redundancy=False)
+        return planner.for_execution(weighted[-1][1], redundancy=False)
+
+    def release(self, session_id: str, *, time: float = 0.0) -> None:
+        """Remove a finished/aborted session."""
+        if session_id in self._sessions:
+            del self._sessions[session_id]
+            self.allocator.release(session_id, time=time)
+            self._now = time
+            self._log(session_id, "release")
+
+    # ------------------------------------------------------------------
+    # The 5-second control cycle
+    # ------------------------------------------------------------------
+    def control(self, time: float, telemetry: TelemetryRecorder) -> None:
+        """Run one detection cycle over every hosted session."""
+        interval = self.config.detect_interval
+        self._now = time
+        for sid, ctl in self._sessions.items():
+            window = telemetry.observed_window(sid, interval)
+            if window is None:
+                continue
+            self._control_session(ctl, window, interval)
+        self._grant_all(time)
+
+    def _control_session(
+        self, ctl: SessionControl, window: np.ndarray, interval: int
+    ) -> None:
+        ctl._peaks_cache.clear()  # state may change below
+        self._last_window = window
+        judgment = ctl.predictor.judge(
+            window, ctl.believed if ctl.phase == "execution" else None
+        )
+        if ctl.phase == "execution":
+            # Saturation guard: telemetry shows *usage*, which is clipped
+            # at the granted ceiling.  A window pinned against the grant
+            # no longer resembles the stage's true clusters —
+            # reinterpreting it would "discover" a cheaper stage, shrink
+            # the grant, and spiral.  A pinned window means demand ≥
+            # grant, not a stage change.  The one trustworthy signal
+            # while pinned is a *voluntary* GPU drop far below the grant:
+            # that is a real loading screen.
+            try:
+                granted = self.allocator.allocation_of(
+                    ctl.session.session_id
+                ).array
+            except KeyError:  # pragma: no cover - defensive
+                granted = ctl.desired.array
+            # "Pinned" must mean *clipped at the ceiling*, not merely high:
+            # q95-planned ceilings put healthy usage at 0.85–0.95 of the
+            # grant.  A 5-second usage mean within noise of the grant
+            # itself only happens when demand exceeds it every second.
+            meaningful = granted > 1.0
+            slack = np.maximum(0.8, 0.015 * granted)
+            pinned = bool(np.any(meaningful & (window >= granted - slack)))
+            if pinned:
+                gpu_granted = granted[1]
+                voluntary_gpu_drop = (
+                    judgment.kind is JudgmentKind.LOADING
+                    and gpu_granted > 1.0
+                    and window[1] < 0.7 * gpu_granted
+                )
+                if not voluntary_gpu_drop:
+                    # Starved: probe the ceiling upward (geometrically,
+                    # capped at the whole-game peak) until usage unpins —
+                    # only then can the frame be judged faithfully.
+                    target = ctl.planner.peak_plan()
+                    probe = np.minimum(
+                        ctl.desired.array * 1.3 + 2.0, target.array
+                    )
+                    ctl.desired = ctl.desired.maximum(
+                        ResourceVector.from_array(probe)
+                    )
+                    self._log(
+                        ctl.session.session_id, "probe",
+                        f"ceiling raised toward {np.round(target.array, 1)}",
+                    )
+                    return
+            self._control_execution(ctl, judgment)
+        else:
+            self._control_loading(ctl, judgment, interval)
+
+    def _control_execution(self, ctl: SessionControl, j: Judgment) -> None:
+        if j.kind is JudgmentKind.SAME:
+            # Settle on the plain stage plan: this releases both the Eq-1
+            # callback cushion and any starvation probe once the stage is
+            # confirmed and usage floats freely below the ceiling.
+            if ctl.believed is not None:
+                ctl.desired = ctl.planner.for_execution(ctl.believed, redundancy=False)
+                ctl.redundant = False
+            return
+        if j.kind is JudgmentKind.LOADING:
+            # Stage ended; enter loading and predict the next stage.
+            ctl.phase = "loading"
+            ctl.maybe_transient = True
+            ctl.prev_exec = ctl.believed
+            if ctl.believed is not None:
+                ctl.exec_history.append(ctl.believed)
+            ctl._predict_next()
+            ctl.hold_seconds = 0.0
+            ctl.desired = ctl.planner.for_loading()
+            self._log(
+                ctl.session.session_id, "stage-end",
+                f"predicted next {ctl.predicted!r} "
+                f"(conf {ctl.predicted_conf:.0%})",
+            )
+            return
+        # MISMATCH: rehearsal callback (first flavour) — jump to the
+        # re-matched stage with the Eq-1 cushion.
+        if ctl.adjuster.record_error():
+            ctl._rotate_backend()
+        if j.matched_type is not None:
+            ctl.believed = j.matched_type
+            ctl.desired = ctl.planner.for_execution(
+                ctl.believed, redundancy=self.config.use_redundancy
+            )
+        else:
+            ctl.desired = ctl.planner.peak_plan()
+        ctl.redundant = self.config.use_redundancy
+        self._log(
+            ctl.session.session_id, "callback",
+            f"re-matched to {ctl.believed!r}",
+        )
+
+    def _control_loading(
+        self, ctl: SessionControl, j: Judgment, interval: int
+    ) -> None:
+        if j.kind is JudgmentKind.LOADING:
+            # GPU-pin check: a genuine loading screen uses far less GPU
+            # than the (headroomed) loading ceiling; usage pinned at the
+            # GPU grant means the next stage has started but is clipped
+            # into looking like loading.  Promote to execution on the
+            # predicted stage — a following MISMATCH callback corrects a
+            # wrong guess once the ceiling stops clipping.
+            try:
+                granted = self.allocator.allocation_of(
+                    ctl.session.session_id
+                ).array
+            except KeyError:  # pragma: no cover - defensive
+                granted = ctl.desired.array
+            window = self._last_window
+            if (
+                window is not None
+                and granted[1] > 1.0
+                and window[1] >= 0.9 * granted[1]
+            ):
+                ctl.phase = "execution"
+                ctl.hold_seconds = 0.0
+                ctl.believed = ctl.predicted
+                ctl.predicted = None
+                ctl.redundant = False
+                ctl.desired = (
+                    ctl.planner.for_execution(ctl.believed, redundancy=False)
+                    if ctl.believed is not None
+                    else ctl.planner.peak_plan()
+                )
+                return
+            ctl.maybe_transient = False  # two windows of loading = real
+            plan_next = (
+                ctl.planner.for_execution(ctl.predicted, redundancy=False)
+                if ctl.predicted is not None
+                else ctl.planner.peak_plan()
+            )
+            others = ResourceVector.zeros()
+            for other_sid, other in self._sessions.items():
+                if other is not ctl:
+                    others = others + other.desired
+            if self.regulator.should_hold_in_loading(
+                plan_next, others, ctl.hold_seconds
+            ):
+                if ctl.hold_seconds == 0.0:
+                    self.regulator.start_hold()
+                ctl.hold_seconds += interval
+                self.regulator.note_hold(interval)
+                ctl.desired = ctl.planner.throttled_loading(
+                    self.config.regulator.steal_fraction
+                )
+                self._log(
+                    ctl.session.session_id, "hold",
+                    f"loading extended ({ctl.hold_seconds:.0f}s so far); "
+                    f"next stage {ctl.predicted!r} does not fit",
+                )
+            else:
+                ctl.desired = ctl.planner.for_loading()
+            return
+
+        # An execution cluster appeared.
+        if (
+            ctl.maybe_transient
+            and ctl.prev_exec is not None
+            and ctl.prev_exec.contains(j.cluster)
+        ):
+            # Rehearsal callback (second flavour): the "loading" was a
+            # transient dip — revert to the previous stage immediately.
+            ctl.adjuster.record_transient()
+            ctl.phase = "execution"
+            ctl.believed = ctl.prev_exec
+            if ctl.exec_history and ctl.exec_history[-1] == ctl.prev_exec:
+                ctl.exec_history.pop()
+            ctl.desired = ctl.planner.for_execution(
+                ctl.believed, redundancy=self.config.use_redundancy
+            )
+            ctl.redundant = self.config.use_redundancy
+            self._log(
+                ctl.session.session_id, "transient-revert",
+                f"back to {ctl.believed!r}",
+            )
+            return
+
+        # Loading finished: the next stage has begun.
+        ctl.phase = "execution"
+        ctl.hold_seconds = 0.0
+        if ctl.predicted is not None and ctl.predicted.contains(j.cluster):
+            ctl.believed = ctl.predicted
+            ctl.adjuster.record_success()
+            callback = False
+            self._log(
+                ctl.session.session_id, "stage-start",
+                f"{ctl.believed!r} as predicted",
+            )
+        else:
+            # Misprediction: this grant is a rehearsal callback and gets
+            # the Eq-1 cushion on top of the re-matched stage's peak.
+            if ctl.adjuster.record_error():
+                ctl._rotate_backend()
+            ctl.believed = (
+                j.matched_type if j.matched_type is not None else ctl.predicted
+            )
+            callback = self.config.use_redundancy
+        ctl.redundant = callback
+        ctl.predicted = None
+        ctl.desired = (
+            ctl.planner.for_execution(ctl.believed, redundancy=callback)
+            if ctl.believed is not None
+            else ctl.planner.peak_plan()
+        )
+
+    # ------------------------------------------------------------------
+    # Granting under the cap
+    # ------------------------------------------------------------------
+    def _grant_all(self, time: float) -> None:
+        """Retune every ceiling, scaling down on conflict.
+
+        Loading sessions absorb shortage first (the paper's preference:
+        steal from loading rather than from a peaked game), then the
+        remainder is scaled proportionally.  Shrinking sessions are
+        applied before growing ones so the cap is never violated
+        transiently.
+        """
+        if not self._sessions:
+            return
+        placements = self.allocator.server.placements
+        budget = self.allocator.capped_capacity(0).array
+
+        desired: Dict[str, np.ndarray] = {
+            sid: ctl.desired.array.copy() for sid, ctl in self._sessions.items()
+        }
+        total = np.sum(list(desired.values()), axis=0)
+        over = total > budget + 1e-9
+        if over.any():
+            # Phase 1: throttle loading sessions on the violated dims.
+            steal = self.config.regulator.steal_fraction
+            for sid, ctl in self._sessions.items():
+                if ctl.phase == "loading":
+                    throttled = ctl.planner.throttled_loading(steal).array
+                    desired[sid] = np.where(over, np.minimum(desired[sid], throttled), desired[sid])
+            total = np.sum(list(desired.values()), axis=0)
+            # Phase 2: proportional scale on still-violated dims.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                factors = np.where(total > budget, budget / np.maximum(total, 1e-9), 1.0)
+            for sid in desired:
+                desired[sid] = desired[sid] * factors
+
+        # Apply: shrinks first, then grows (cap-safe ordering).
+        shrinks, grows = [], []
+        for sid, vec in desired.items():
+            old = placements[sid].allocation.array
+            (shrinks if np.all(vec <= old + 1e-9) else grows).append(sid)
+        for sid in shrinks + grows:
+            self.allocator.retune_clamped(
+                sid, ResourceVector.from_array(desired[sid]), time=time
+            )

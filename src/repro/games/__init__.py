@@ -1,0 +1,62 @@
+"""Cloud-game workload substrate.
+
+The paper runs five real titles (DOTA2, CSGO, Genshin Impact, Devil May
+Cry, Contra) on a physical testbed.  CoCG never inspects the games
+themselves — its input is the multi-dimensional resource time series plus
+the stage structure induced by scene loading.  This package provides a
+generative model with the same statistical structure:
+
+* :mod:`~repro.games.spec` — frame clusters, stages (loading/execution),
+  scripts, and whole-game specifications;
+* :mod:`~repro.games.category` — the Fig-7 game-category quadrants;
+* :mod:`~repro.games.player` — the user-influence model (stay-duration
+  variance, task-order permutation, transient bursts);
+* :mod:`~repro.games.session` — the runtime stage machine producing
+  1-second demand samples, with allocation-dependent loading progress;
+* :mod:`~repro.games.catalog` — the five paper games with the Table-I
+  scripts;
+* :mod:`~repro.games.tracegen` — offline trace/corpus generation for
+  profiling and predictor training.
+"""
+
+from repro.games.spec import (
+    ClusterSpec,
+    GameSpec,
+    ScriptSpec,
+    StageKind,
+    StageSpec,
+)
+from repro.games.category import GameCategory
+from repro.games.player import PlayerModel
+from repro.games.session import GameSession, SessionTick
+from repro.games.catalog import (
+    build_catalog,
+    contra,
+    csgo,
+    devil_may_cry,
+    dota2,
+    genshin_impact,
+)
+from repro.games.tracegen import GroundTruth, TraceBundle, generate_trace, generate_corpus
+
+__all__ = [
+    "ClusterSpec",
+    "StageSpec",
+    "StageKind",
+    "ScriptSpec",
+    "GameSpec",
+    "GameCategory",
+    "PlayerModel",
+    "GameSession",
+    "SessionTick",
+    "build_catalog",
+    "dota2",
+    "csgo",
+    "genshin_impact",
+    "devil_may_cry",
+    "contra",
+    "generate_trace",
+    "generate_corpus",
+    "TraceBundle",
+    "GroundTruth",
+]

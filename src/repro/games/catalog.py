@@ -1,0 +1,328 @@
+"""The five evaluated games (paper §V-A, Table I).
+
+Each factory builds a :class:`~repro.games.spec.GameSpec` whose
+statistical structure matches the paper's measurements:
+
+=============  ========  =======  ====  ========================  =========
+game           category  lock     K     scripts (Table I)         length
+=============  ========  =======  ====  ========================  =========
+DOTA2          MMO       none     5     match / arcade            long
+CSGO           MMO       none     4     match / training map      long
+Genshin        MOBILE    60 fps   4     3 task orders             short
+Devil May Cry  CONSOLE   60 fps   6     levels 1 / 2 / 3          long
+Contra         WEB       none     2     1 / 2 / 3 levels          short
+=============  ========  =======  ====  ========================  =========
+
+``K`` is the frame-cluster count the paper selects at the Fig-14 elbow
+(Contra 2, CSGO 4, Genshin 4, DOTA2 5, Devil May Cry 6), and the per-
+script stage-type counts reproduce the Table-I column.  Resource means
+are calibrated so the co-location regimes of Fig 11 emerge: DOTA2+DMC
+peak sums exceed any static-reservation policy's budget, CSGO+Genshin
+pairs a long game with a short one, Genshin+Contra fits everywhere.
+
+Loading clusters follow Observation 3: CPU-heavy (pre-computation of the
+next scene) and GPU-light (a black screen needs no rendering).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.games.category import GameCategory
+from repro.games.spec import ClusterSpec, GameSpec, ScriptSpec, StageKind, StageSpec
+from repro.platform_.resources import ResourceVector
+
+__all__ = [
+    "dota2",
+    "csgo",
+    "genshin_impact",
+    "devil_may_cry",
+    "contra",
+    "build_catalog",
+]
+
+
+def _c(name, cpu, gpu, gpu_mem, ram, std, fps) -> ClusterSpec:
+    """Shorthand cluster constructor with a scalar-per-dim std tuple."""
+    return ClusterSpec(
+        name=name,
+        mean=ResourceVector(cpu=cpu, gpu=gpu, gpu_mem=gpu_mem, ram=ram),
+        std=ResourceVector(cpu=std[0], gpu=std[1], gpu_mem=std[2], ram=std[3]),
+        nominal_fps=fps,
+    )
+
+
+def dota2() -> GameSpec:
+    """DOTA2: 3-D MOBA — complex stages, significant user influence (MMO).
+
+    Five clusters (Fig 14 elbow): loading, hero pick, laning, teamfight,
+    arcade.  The ranked match mixes laning and teamfights inside one
+    stage — a multi-cluster stage type (§IV-A1, first situation).
+    """
+    clusters = {
+        "load": _c("load", 65, 6, 28, 26, (2.5, 1.2, 1.2, 1), 90),
+        "pick": _c("pick", 22, 12, 30, 28, (1.5, 1.2, 1, 1), 140),
+        "arcade": _c("arcade", 34, 21, 32, 29, (1.5, 1.2, 1, 1), 120),
+        "lane": _c("lane", 47, 31, 34, 30, (1.5, 1.2, 1, 1), 120),
+        "fight": _c("fight", 61, 42, 36, 31, (1.8, 1.2, 1, 1), 110),
+    }
+    stages = {
+        "boot": StageSpec("boot", StageKind.LOADING, ("load",), 12.0),
+        "pick": StageSpec("pick", StageKind.EXECUTION, ("pick",), 90.0, duration_scale=0.3),
+        "match": StageSpec(
+            "match", StageKind.EXECUTION, ("lane", "fight"), 900.0, cluster_dwell=35.0
+        ),
+        "arcade": StageSpec("arcade", StageKind.EXECUTION, ("arcade",), 700.0),
+        "mapload": StageSpec("mapload", StageKind.LOADING, ("load",), 9.0),
+        "exit": StageSpec("exit", StageKind.LOADING, ("load",), 6.0),
+    }
+    scripts = (
+        ScriptSpec(
+            "match-9-bots",
+            "conducting a match with 9 bots",
+            ("boot", "pick", "mapload", "match", "exit"),
+        ),
+        ScriptSpec(
+            "arcade-tower-defense",
+            "playing a tower defense game in the arcade",
+            ("boot", "pick", "mapload", "arcade", "exit"),
+        ),
+    )
+    return GameSpec(
+        name="dota2",
+        category=GameCategory.MMO,
+        clusters=clusters,
+        stages=stages,
+        scripts=scripts,
+        frame_lock=None,
+        long_term=True,
+        description="3D Multiplayer Online Battle Arena",
+    )
+
+
+def csgo() -> GameSpec:
+    """CSGO: 3-D FPS — complex stages, significant user influence (MMO).
+
+    Four clusters (Fig 14): loading, menu, movement, firefight.  Every
+    mode change passes through a load screen (map load, the round-reset
+    freeze before going live), so stages are loading-separated: the match
+    script shows four stage types (menu, on-map warmup, the mixed
+    movement+firefight rounds, loading) and the training-map script three
+    (Table I).  Movement-only play draws the same resources whether the
+    player warms up or trains — the §IV-A1 "one cluster, multiple scenes"
+    situation.
+    """
+    clusters = {
+        "load": _c("load", 58, 5, 22, 22, (3, 1, 1, 1), 100),
+        "menu": _c("menu", 18, 14, 24, 23, (1.5, 1.5, 1, 0.5), 200),
+        "move": _c("move", 36, 29, 27, 25, (2, 1.5, 1, 1), 160),
+        "combat": _c("combat", 52, 42, 30, 26, (2.5, 1.5, 1, 1), 140),
+    }
+    stages = {
+        "boot": StageSpec("boot", StageKind.LOADING, ("load",), 10.0),
+        "menu": StageSpec(
+            "menu", StageKind.EXECUTION, ("menu",), 35.0, duration_scale=0.5
+        ),
+        "mapload": StageSpec("mapload", StageKind.LOADING, ("load",), 8.0),
+        "warm": StageSpec("warm", StageKind.EXECUTION, ("move",), 50.0, duration_scale=0.4),
+        "live": StageSpec("live", StageKind.LOADING, ("load",), 6.0),
+        "match": StageSpec(
+            "match", StageKind.EXECUTION, ("move", "combat"), 780.0, cluster_dwell=30.0
+        ),
+        "training": StageSpec("training", StageKind.EXECUTION, ("move",), 420.0),
+        "exit": StageSpec("exit", StageKind.LOADING, ("load",), 5.0),
+    }
+    scripts = (
+        ScriptSpec(
+            "match-9-bots",
+            "conducting a match with 9 bots",
+            ("boot", "menu", "mapload", "warm", "live", "match", "exit"),
+        ),
+        ScriptSpec(
+            "training-map",
+            "moving in the training map without shooting",
+            ("boot", "menu", "mapload", "training", "exit"),
+        ),
+    )
+    return GameSpec(
+        name="csgo",
+        category=GameCategory.MMO,
+        clusters=clusters,
+        stages=stages,
+        scripts=scripts,
+        frame_lock=None,
+        long_term=True,
+        description="3D First Person Shooting game",
+    )
+
+
+def genshin_impact() -> GameSpec:
+    """Genshin Impact: open-world mobile game — high user influence.
+
+    Four clusters (Fig 14): loading, low (menu/idle traversal), mid
+    (flying/exploring), high (battle).  Five stage types (Table I): the
+    open-world run mixes low and mid clusters, giving {low}, {low,mid},
+    {mid}, {high} and {load}.  The three scripts complete the same three
+    tasks in different orders, and the player may reorder them again —
+    the user-influence axis that degrades DTC/RF accuracy in Fig 15.
+
+    The manufacturer locks the frame rate at 60 FPS.
+    """
+    clusters = {
+        "load": _c("load", 72, 8, 40, 30, (3, 1.5, 2, 1.5), 60),
+        "low": _c("low", 28, 26, 42, 33, (2, 2, 1.5, 1), 70),
+        "mid": _c("mid", 38, 50, 48, 35, (2.5, 2.5, 2, 1), 75),
+        "high": _c("high", 48, 62, 52, 36, (3, 3, 2, 1), 72),
+    }
+    stages = {
+        "boot": StageSpec("boot", StageKind.LOADING, ("load",), 10.0),
+        "menu": StageSpec("menu", StageKind.EXECUTION, ("low",), 25.0, duration_scale=0.6),
+        "run": StageSpec(
+            "run", StageKind.EXECUTION, ("low", "mid"), 90.0, cluster_dwell=20.0, duration_scale=0.7
+        ),
+        "battle": StageSpec("battle", StageKind.EXECUTION, ("high",), 70.0),
+        "fly": StageSpec("fly", StageKind.EXECUTION, ("mid",), 60.0),
+        "inter": StageSpec("inter", StageKind.LOADING, ("load",), 8.0),
+        "exit": StageSpec("exit", StageKind.LOADING, ("load",), 5.0),
+    }
+    # Task slots sit at indices 3, 5, 7; loading separates every task.
+    base = ("boot", "menu", "inter", None, "inter", None, "inter", None, "exit")
+
+    def script(name: str, description: str, order: tuple[str, str, str]) -> ScriptSpec:
+        """One Genshin task-order script over the shared slot layout."""
+        stages_seq = list(base)
+        for slot, task in zip((3, 5, 7), order):
+            stages_seq[slot] = task
+        return ScriptSpec(
+            name, description, tuple(stages_seq), permutable_groups=((3, 5, 7),)
+        )
+
+    scripts = (
+        script("run-battle-fly", "run + battle + fly", ("run", "battle", "fly")),
+        script("fly-battle-run", "fly + battle + run", ("fly", "battle", "run")),
+        script("battle-run-fly", "battle + run + fly", ("battle", "run", "fly")),
+    )
+    return GameSpec(
+        name="genshin",
+        category=GameCategory.MOBILE,
+        clusters=clusters,
+        stages=stages,
+        scripts=scripts,
+        frame_lock=60.0,
+        long_term=False,
+        description="open-world mobile game, 60 FPS lock",
+    )
+
+
+def devil_may_cry() -> GameSpec:
+    """Devil May Cry: ARPG console game — complex stages, low influence.
+
+    Six clusters (Fig 14): loading, cutscene, exploration, combat, and
+    two boss encounters with distinct resource signatures.  Scripts are
+    the first three levels in simple mode with 2 / 4 / 6 stage types
+    (Table I); the two bosses of level three may be fought in either
+    order (§IV-A1's "defeat the bosses in any order" situation).
+
+    The manufacturer locks the frame rate at 60 FPS.
+    """
+    clusters = {
+        "load": _c("load", 70, 8, 40, 32, (3, 1.5, 1.5, 1), 60),
+        "cut": _c("cut", 22, 30, 44, 33, (1.5, 2, 1, 1), 60),
+        "explore": _c("explore", 36, 47, 46, 34, (2.5, 2, 1.5, 1), 80),
+        "combat": _c("combat", 46, 60, 48, 35, (2.5, 2.5, 1.5, 1), 75),
+        "boss_a": _c("boss_a", 54, 74, 50, 36, (3, 2, 1.5, 1), 70),
+        "boss_b": _c("boss_b", 64, 56, 52, 36, (3, 2, 1.5, 1), 70),
+    }
+    stages = {
+        "boot": StageSpec("boot", StageKind.LOADING, ("load",), 14.0),
+        "cutscene": StageSpec(
+            "cutscene", StageKind.EXECUTION, ("cut",), 40.0, duration_scale=0.3
+        ),
+        "level1": StageSpec("level1", StageKind.EXECUTION, ("combat",), 180.0),
+        "l2_explore": StageSpec("l2_explore", StageKind.EXECUTION, ("explore",), 150.0),
+        "l2_combat": StageSpec("l2_combat", StageKind.EXECUTION, ("combat",), 160.0),
+        "boss1": StageSpec("boss1", StageKind.EXECUTION, ("boss_a",), 120.0),
+        "boss2": StageSpec("boss2", StageKind.EXECUTION, ("boss_b",), 110.0),
+        "inter": StageSpec("inter", StageKind.LOADING, ("load",), 10.0),
+        "exit": StageSpec("exit", StageKind.LOADING, ("load",), 6.0),
+    }
+    scripts = (
+        ScriptSpec(
+            "level-1",
+            "first level in simple mode",
+            ("boot", "level1", "exit"),
+        ),
+        ScriptSpec(
+            "level-2",
+            "second level in simple mode",
+            ("boot", "cutscene", "l2_explore", "l2_combat", "exit"),
+        ),
+        ScriptSpec(
+            "level-3",
+            "third level in simple mode",
+            ("boot", "cutscene", "l2_explore", "l2_combat", "inter", "boss1",
+             "inter", "boss2", "exit"),
+            permutable_groups=((5, 7),),
+        ),
+    )
+    return GameSpec(
+        name="devil_may_cry",
+        category=GameCategory.CONSOLE,
+        clusters=clusters,
+        stages=stages,
+        scripts=scripts,
+        frame_lock=60.0,
+        long_term=True,
+        description="Action RPG console game, 60 FPS lock",
+    )
+
+
+def contra() -> GameSpec:
+    """Contra: classic web/flash-class game — simple, near-deterministic.
+
+    Two clusters (Fig 14): loading and running.  Resource draw barely
+    changes while playing; every script has exactly two stage types
+    (Table I).  Short total play time — the short-term filler the
+    regulator slots between long games' peaks (§IV-C2).
+    """
+    clusters = {
+        "load": _c("load", 25, 3, 6, 6, (0.9, 0.5, 0.4, 0.3), 60),
+        "run": _c("run", 15, 12, 8, 6, (0.8, 0.7, 0.4, 0.3), 150),
+    }
+    stages = {
+        "boot": StageSpec("boot", StageKind.LOADING, ("load",), 6.0),
+        "level1": StageSpec("level1", StageKind.EXECUTION, ("run",), 70.0, duration_scale=0.4),
+        "level2": StageSpec("level2", StageKind.EXECUTION, ("run",), 70.0, duration_scale=0.4),
+        "level3": StageSpec("level3", StageKind.EXECUTION, ("run",), 70.0, duration_scale=0.4),
+        "inter": StageSpec("inter", StageKind.LOADING, ("load",), 4.0),
+        "exit": StageSpec("exit", StageKind.LOADING, ("load",), 3.0),
+    }
+    scripts = (
+        ScriptSpec("level-1", "first level", ("boot", "level1", "exit")),
+        ScriptSpec(
+            "levels-1-2",
+            "first two levels",
+            ("boot", "level1", "inter", "level2", "exit"),
+        ),
+        ScriptSpec(
+            "levels-1-3",
+            "first three levels",
+            ("boot", "level1", "inter", "level2", "inter", "level3", "exit"),
+        ),
+    )
+    return GameSpec(
+        name="contra",
+        category=GameCategory.WEB,
+        clusters=clusters,
+        stages=stages,
+        scripts=scripts,
+        frame_lock=None,
+        long_term=False,
+        description="classic entry game",
+    )
+
+
+def build_catalog() -> Dict[str, GameSpec]:
+    """All five games keyed by name."""
+    games = [dota2(), csgo(), genshin_impact(), devil_may_cry(), contra()]
+    return {g.name: g for g in games}

@@ -1,0 +1,144 @@
+"""The user-influence model (paper §II-B "User influence").
+
+A player perturbs a scripted playthrough in three ways:
+
+1. **Stay duration** — "players can choose to stay in a certain scene for
+   a long time … or quickly skip" — modelled as a lognormal multiplier on
+   each execution stage's base duration.
+2. **Stage order** — the permutable slots of a script are reordered.
+   Each player has a *preferred* order (stable across their sessions, the
+   property the per-player MOBILE dataset policy exploits) and deviates
+   from it with a category-dependent probability.
+3. **Bursts** — short transient demand spikes (an unexpected fight, a
+   particle storm) that are *not* stage changes; they are what trips the
+   misjudgment-and-callback behaviour in the paper's Figs 9/10.
+
+The magnitude of all three is derived from the game category's
+user-influence axis so that WEB games are near-deterministic and
+MOBILE/MMO games are strongly player-driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.games.category import GameCategory
+from repro.platform_.resources import ResourceVector
+from repro.util.rng import Seed, as_rng, derive_seed
+
+__all__ = ["PlayerModel", "BurstEvent"]
+
+# Per-category knobs: (duration lognormal sigma, P(deviate from preferred
+# order), burst rate per second, burst magnitude in percent).
+_CATEGORY_KNOBS = {
+    GameCategory.WEB: (0.05, 0.02, 0.0005, 3.0),
+    GameCategory.MOBILE: (0.25, 0.18, 0.004, 7.0),
+    GameCategory.CONSOLE: (0.15, 0.08, 0.002, 5.0),
+    GameCategory.MMO: (0.30, 0.30, 0.006, 8.0),
+}
+
+
+@dataclass(frozen=True)
+class BurstEvent:
+    """A transient demand spike: additive demand for a short interval."""
+
+    extra: ResourceVector
+    remaining: int
+
+    def tick(self) -> "BurstEvent":
+        """One second elapsed."""
+        return BurstEvent(self.extra, self.remaining - 1)
+
+    @property
+    def active(self) -> bool:
+        """Whether the burst is still running."""
+        return self.remaining > 0
+
+
+class PlayerModel:
+    """One synthetic player.
+
+    Parameters
+    ----------
+    player_id:
+        Stable identifier; together with the game category it seeds the
+        player's preferences, so the same player behaves consistently
+        across sessions (the property the MOBILE per-player dataset
+        policy relies on).
+    category:
+        The hosted game's category; sets the influence magnitudes.
+    seed:
+        Base seed the player's streams are derived from.
+    """
+
+    def __init__(self, player_id: str, category: GameCategory, *, seed: Seed = 0):
+        self.player_id = str(player_id)
+        self.category = category
+        sigma, deviate_p, burst_rate, burst_mag = _CATEGORY_KNOBS[category]
+        self.duration_sigma = sigma
+        self.deviate_probability = deviate_p
+        self.burst_rate = burst_rate
+        self.burst_magnitude = burst_mag
+        base = seed if isinstance(seed, int) or seed is None else 0
+        self._pref_rng = as_rng(derive_seed(base, "pref", player_id, category.value))
+
+    # ------------------------------------------------------------------
+    def preferred_order(self, group: Sequence[int]) -> Tuple[int, ...]:
+        """The player's stable preferred permutation of a slot group.
+
+        Deterministic per (player, group): calling twice returns the same
+        order.
+        """
+        group = tuple(group)
+        # Derive a dedicated generator per group so groups are independent
+        # but stable.
+        g = as_rng(
+            derive_seed(
+                0, "group", self.player_id, self.category.value, repr(group)
+            )
+        )
+        perm = g.permutation(len(group))
+        return tuple(group[i] for i in perm)
+
+    def realized_order(
+        self, group: Sequence[int], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
+        """Order actually played this session.
+
+        With probability ``1 - deviate_probability`` it is the player's
+        preferred order; otherwise a fresh uniform permutation (a mood).
+        """
+        group = tuple(group)
+        if rng.random() >= self.deviate_probability:
+            return self.preferred_order(group)
+        perm = rng.permutation(len(group))
+        return tuple(group[i] for i in perm)
+
+    def duration_multiplier(
+        self, duration_scale: float, rng: np.random.Generator
+    ) -> float:
+        """Lognormal stay-duration multiplier for one execution stage."""
+        sigma = self.duration_sigma * max(duration_scale, 0.0)
+        if sigma == 0.0:
+            return 1.0
+        return float(rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma))
+
+    def maybe_burst(self, rng: np.random.Generator) -> BurstEvent | None:
+        """Possibly start a transient demand burst this second."""
+        if rng.random() >= self.burst_rate:
+            return None
+        mag = self.burst_magnitude * (0.6 + 0.8 * rng.random())
+        extra = ResourceVector(
+            cpu=mag * (0.5 + 0.5 * rng.random()),
+            gpu=mag,
+            gpu_mem=0.3 * mag,
+            ram=0.1 * mag,
+        )
+        duration = int(rng.integers(3, 9))
+        return BurstEvent(extra, duration)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PlayerModel({self.player_id!r}, {self.category.value})"

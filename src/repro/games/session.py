@@ -1,0 +1,297 @@
+"""Runtime game session: the stage machine that produces demand samples.
+
+A :class:`GameSession` walks a script's stages and emits one demand
+vector per simulated second.  Two properties make it more than a trace
+player, both central to the paper:
+
+* **Loading progress depends on the allocation.**  A loading stage is a
+  fixed amount of work; its wall-clock length is ``work / rate`` where
+  the rate is the CPU-supply satisfaction.  The regulator's "extend
+  loading time" (time stealing, §IV-C2) therefore needs no special
+  mechanism — shrinking a loading game's ceiling stretches its loading
+  stage automatically.
+* **Execution stages run on wall time regardless of supply.**  A starved
+  execution stage doesn't pause; the player just suffers low FPS.  That
+  is exactly why peak overlap is costly and must be avoided up front.
+
+Demand within a cluster follows an AR(1) process around the cluster mean
+(smooth second-to-second telemetry), plus the player model's transient
+bursts — the source of the misjudgment/callback events in Figs 9/10.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.games.player import BurstEvent, PlayerModel
+from repro.games.spec import GameSpec, ScriptSpec, StageKind, StageSpec
+from repro.platform_.profile import PlatformProfile, REFERENCE_PLATFORM
+from repro.platform_.resources import ResourceVector
+from repro.util.rng import Seed, as_rng
+
+__all__ = ["SessionTick", "GameSession"]
+
+_session_counter = itertools.count()
+
+#: AR(1) correlation of within-cluster demand (per second).
+_AR_RHO = 0.85
+#: Minimum realized execution-stage duration in seconds.
+_MIN_STAGE_SECONDS = 5.0
+
+
+@dataclass(frozen=True)
+class SessionTick:
+    """What one simulated second of a session looked like.
+
+    ``demand`` is what the game *wants*; what it gets is the caller's
+    allocation, and actual usage is ``min(demand, allocation)``.
+    """
+
+    time: int
+    demand: ResourceVector
+    stage_name: str
+    stage_kind: StageKind
+    stage_type: frozenset
+    cluster: str
+    nominal_fps: float
+    frame_lock: Optional[float]
+    stage_completed: bool
+    finished: bool
+
+    @property
+    def is_loading(self) -> bool:
+        """Whether this second was spent in a loading stage."""
+        return self.stage_kind is StageKind.LOADING
+
+    def usage(self, allocation: ResourceVector) -> ResourceVector:
+        """Consumption under a ceiling: element-wise min."""
+        return self.demand.minimum(allocation)
+
+
+@dataclass
+class _StageInstance:
+    spec: StageSpec
+    duration: float  # execution: wall seconds; loading: work units
+
+
+class GameSession:
+    """One running game.
+
+    Parameters
+    ----------
+    spec:
+        The game.
+    script:
+        Script name, or ``None`` to pick uniformly among the game's
+        scripts (the paper's §V-B2 protocol: "when a game is assigned, it
+        randomly selects one from the scripts").
+    player:
+        The controlling player; defaults to a fresh player named after
+        the session.
+    seed:
+        Session randomness (demand noise, durations, this run's order).
+    platform:
+        Demand scaling profile of the hosting platform.
+    session_id:
+        Unique id; auto-generated when omitted.
+    """
+
+    def __init__(
+        self,
+        spec: GameSpec,
+        script: Optional[str] = None,
+        *,
+        player: Optional[PlayerModel] = None,
+        seed: Seed = None,
+        platform: PlatformProfile = REFERENCE_PLATFORM,
+        session_id: Optional[str] = None,
+    ):
+        self.spec = spec
+        self.platform = platform
+        self._rng = as_rng(seed)
+        if script is None:
+            script = spec.scripts[int(self._rng.integers(len(spec.scripts)))].name
+        self.script: ScriptSpec = spec.script(script)
+        self.player = (
+            player
+            if player is not None
+            else PlayerModel(f"player-of-{spec.name}", spec.category, seed=0)
+        )
+        self.session_id = (
+            session_id
+            if session_id is not None
+            else f"{spec.name}#{next(_session_counter)}"
+        )
+
+        self._stages: List[_StageInstance] = self._resolve_stages()
+        self._stage_idx = 0
+        self._elapsed = 0  # total session seconds
+        self._stage_progress = 0.0  # seconds (execution) or work units (loading)
+        self._active_cluster: str = ""
+        self._dwell_left = 0.0
+        self._deviation = np.zeros(4)  # AR(1) state
+        self._bursts: List[BurstEvent] = []
+        self.history: List[Tuple[str, int, int]] = []  # (stage, start, end)
+        self._stage_start = 0
+        self._enter_stage()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _resolve_stages(self) -> List[_StageInstance]:
+        """Apply the player's order choices and realize durations."""
+        order = list(range(len(self.script.stages)))
+        for group in self.script.permutable_groups:
+            played = self.player.realized_order(group, self._rng)
+            for slot, src in zip(group, played):
+                order[slot] = src
+        instances: List[_StageInstance] = []
+        for idx in order:
+            stage = self.spec.stages[self.script.stages[idx]]
+            if stage.kind is StageKind.EXECUTION:
+                mult = self.player.duration_multiplier(stage.duration_scale, self._rng)
+                duration = max(stage.base_duration * mult, _MIN_STAGE_SECONDS)
+            else:
+                duration = stage.base_duration  # work units
+            instances.append(_StageInstance(stage, duration))
+        return instances
+
+    def _enter_stage(self) -> None:
+        inst = self._stages[self._stage_idx]
+        self._stage_progress = 0.0
+        self._stage_start = self._elapsed
+        self._deviation = np.zeros(4)
+        self._bursts = []
+        self._active_cluster = inst.spec.clusters[
+            int(self._rng.integers(len(inst.spec.clusters)))
+        ]
+        self._dwell_left = self._sample_dwell(inst.spec)
+
+    def _sample_dwell(self, stage: StageSpec) -> float:
+        if len(stage.clusters) == 1:
+            return np.inf
+        # Uniform around the mean (0.6–1.4×): dwell heavy tails would let a
+        # single cluster monopolise a short stage, aliasing the stage type.
+        return max(5.0, float(stage.cluster_dwell * self._rng.uniform(0.6, 1.4)))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """All stages completed."""
+        return self._stage_idx >= len(self._stages)
+
+    @property
+    def elapsed(self) -> int:
+        """Simulated seconds consumed so far."""
+        return self._elapsed
+
+    @property
+    def current_stage(self) -> StageSpec:
+        """The stage the session is currently in."""
+        if self.finished:
+            raise RuntimeError(f"session {self.session_id} has finished")
+        return self._stages[self._stage_idx].spec
+
+    @property
+    def is_loading(self) -> bool:
+        """Whether the session is currently in a loading stage."""
+        return not self.finished and self.current_stage.kind is StageKind.LOADING
+
+    @property
+    def resolved_stage_names(self) -> Tuple[str, ...]:
+        """The stage order actually played this session (ground truth)."""
+        return tuple(inst.spec.name for inst in self._stages)
+
+    def nominal_duration(self) -> float:
+        """Sum of realized durations at full supply (Eq-2's ``S_i``)."""
+        return float(sum(inst.duration for inst in self._stages))
+
+    # ------------------------------------------------------------------
+    # The tick
+    # ------------------------------------------------------------------
+    def advance(self, allocation: ResourceVector) -> SessionTick:
+        """Simulate one second under the given resource ceiling.
+
+        Returns the tick record.  Calling after the session finished
+        raises ``RuntimeError``.
+        """
+        if self.finished:
+            raise RuntimeError(f"session {self.session_id} has finished")
+        inst = self._stages[self._stage_idx]
+        stage = inst.spec
+        cluster = self.spec.clusters[self._active_cluster]
+
+        demand = self._sample_demand(cluster, stage)
+        self._elapsed += 1
+
+        if stage.kind is StageKind.LOADING:
+            # Loading advances at the CPU-supply rate: starving it is the
+            # regulator's time-stealing lever.
+            d_cpu = demand.cpu
+            rate = 1.0 if d_cpu <= 1e-9 else min(1.0, allocation.cpu / d_cpu)
+            self._stage_progress += rate
+        else:
+            self._stage_progress += 1.0
+            self._advance_cluster_dwell(stage)
+
+        stage_completed = self._stage_progress >= inst.duration - 1e-9
+        if stage_completed:
+            self.history.append((stage.name, self._stage_start, self._elapsed))
+            self._stage_idx += 1
+            if not self.finished:
+                self._enter_stage()
+
+        return SessionTick(
+            time=self._elapsed,
+            demand=demand,
+            stage_name=stage.name,
+            stage_kind=stage.kind,
+            stage_type=stage.stage_type,
+            cluster=cluster.name,
+            nominal_fps=cluster.nominal_fps,
+            frame_lock=self.spec.frame_lock,
+            stage_completed=stage_completed,
+            finished=self.finished,
+        )
+
+    def _advance_cluster_dwell(self, stage: StageSpec) -> None:
+        if len(stage.clusters) == 1:
+            return
+        self._dwell_left -= 1.0
+        if self._dwell_left <= 0:
+            others = [c for c in stage.clusters if c != self._active_cluster]
+            self._active_cluster = others[int(self._rng.integers(len(others)))]
+            self._dwell_left = self._sample_dwell(stage)
+            self._deviation = np.zeros(4)
+
+    def _sample_demand(self, cluster, stage: StageSpec) -> ResourceVector:
+        mean = self.platform.scale_demand(cluster.mean).array
+        std = cluster.std.array * self.platform.factors.array
+        noise = self._rng.normal(size=4) * std * np.sqrt(1.0 - _AR_RHO**2)
+        self._deviation = _AR_RHO * self._deviation + noise
+        demand = mean + self._deviation
+
+        if stage.kind is StageKind.EXECUTION:
+            burst = self.player.maybe_burst(self._rng)
+            if burst is not None:
+                self._bursts.append(burst)
+            if self._bursts:
+                for b in self._bursts:
+                    demand = demand + b.extra.array
+                self._bursts = [b.tick() for b in self._bursts]
+                self._bursts = [b for b in self._bursts if b.active]
+
+        return ResourceVector.from_array(np.clip(demand, 0.0, 100.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = "finished" if self.finished else self.current_stage.name
+        return (
+            f"GameSession({self.session_id!r}, {self.spec.name!r}/"
+            f"{self.script.name!r}, at={where}, t={self._elapsed})"
+        )

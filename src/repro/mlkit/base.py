@@ -1,0 +1,66 @@
+"""Estimator protocol shared by all mlkit models.
+
+Mirrors the familiar fit/predict convention: ``fit(X, y)`` returns
+``self``; attributes learned during fitting carry a trailing underscore;
+calling ``predict`` before ``fit`` raises :class:`NotFittedError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.util.validation import check_array_1d, check_array_2d
+
+__all__ = ["NotFittedError", "Estimator", "ClassifierMixin"]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``predict``/``transform`` is called before ``fit``."""
+
+
+class Estimator:
+    """Base class providing fitted-state tracking and input coercion."""
+
+    def _mark_fitted(self) -> None:
+        self._fitted = True
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed on this instance."""
+        return getattr(self, "_fitted", False)
+
+    def _check_fitted(self) -> None:
+        if not self.is_fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} is not fitted; call fit() first"
+            )
+
+    @staticmethod
+    def _coerce_X(X: Any) -> np.ndarray:
+        X = check_array_2d("X", X, dtype=float)
+        if X.shape[0] == 0:
+            raise ValueError("X must contain at least one sample")
+        if not np.all(np.isfinite(X)):
+            raise ValueError("X contains NaN or infinite values")
+        return X
+
+    @staticmethod
+    def _coerce_y(y: Any, n_samples: int) -> np.ndarray:
+        y = check_array_1d("y", y)
+        if y.shape[0] != n_samples:
+            raise ValueError(
+                f"X has {n_samples} samples but y has {y.shape[0]} labels"
+            )
+        return y
+
+
+class ClassifierMixin:
+    """Adds a default ``score`` (accuracy) to classifiers."""
+
+    def score(self, X: Any, y: Any) -> float:
+        """Mean accuracy of ``self.predict(X)`` against ``y``."""
+        from repro.mlkit.metrics import accuracy_score
+
+        return accuracy_score(y, self.predict(X))

@@ -1,0 +1,141 @@
+"""Random forest classifier — the paper's RF backend.
+
+Bootstrap-aggregated CART trees with per-node feature subsampling.  The
+paper recommends RF "for simple, small tasks" (§IV-B2, *Replacing
+model*); the predictor's model-replacement policy cycles to it when DTC
+keeps mispredicting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mlkit.base import ClassifierMixin, Estimator
+from repro.mlkit.tree import DecisionTreeClassifier
+from repro.util.rng import Seed, as_rng, spawn_rngs
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier(Estimator, ClassifierMixin):
+    """Bagged CART ensemble.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth, min_samples_split, min_samples_leaf, criterion:
+        Passed to each tree.
+    max_features:
+        Per-node feature subsample; ``"sqrt"`` (default), ``None`` (all),
+        or an int.
+    bootstrap:
+        Sample each tree's training set with replacement.
+    seed:
+        Seed/generator; each tree gets an independent child stream.
+
+    Attributes
+    ----------
+    classes_:
+        Distinct labels.
+    estimators_:
+        The fitted trees.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        *,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        criterion: str = "gini",
+        max_features="sqrt",
+        bootstrap: bool = True,
+        seed: Seed = None,
+    ):
+        if n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        if not (max_features is None or max_features == "sqrt" or (
+            isinstance(max_features, (int, np.integer)) and max_features >= 1
+        )):
+            raise ValueError(
+                f"max_features must be None, 'sqrt' or a positive int, got {max_features!r}"
+            )
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.criterion = criterion
+        self.max_features = max_features
+        self.bootstrap = bool(bootstrap)
+        self.seed = seed
+
+    def _resolve_max_features(self, n_features: int) -> Optional[int]:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        return min(int(self.max_features), n_features)
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        """Fit ``n_estimators`` trees on bootstrap replicates of ``(X, y)``."""
+        X = self._coerce_X(X)
+        y = self._coerce_y(y, X.shape[0])
+        self.classes_ = np.unique(y)
+        codes = np.searchsorted(self.classes_, y)
+        n = X.shape[0]
+        mf = self._resolve_max_features(X.shape[1])
+        rngs = spawn_rngs(self.seed, self.n_estimators)
+
+        self.estimators_ = []
+        for rng in rngs:
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+            else:
+                idx = np.arange(n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                criterion=self.criterion,
+                max_features=mf,
+                seed=rng,
+            )
+            # Fit on codes so every tree shares the same class indexing even
+            # if its bootstrap sample misses a class.
+            tree.fit(X[idx], codes[idx])
+            self.estimators_.append(tree)
+        self.n_features_in_ = X.shape[1]
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Forest-averaged class probabilities, shape ``(n, n_classes)``."""
+        self._check_fitted()
+        X = self._coerce_X(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; model was fitted with {self.n_features_in_}"
+            )
+        n_classes = len(self.classes_)
+        acc = np.zeros((X.shape[0], n_classes))
+        for tree in self.estimators_:
+            proba = tree.predict_proba(X)
+            # Map the tree's (possibly smaller) class set into the full one.
+            cols = tree.classes_.astype(int)
+            acc[:, cols] += proba
+        acc /= len(self.estimators_)
+        return acc
+
+    def predict(self, X) -> np.ndarray:
+        """Majority-probability class for each row."""
+        return self.classes_[self.predict_proba(X).argmax(axis=1)]
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Forest-averaged impurity-decrease importances."""
+        self._check_fitted()
+        return np.mean([t.feature_importances_ for t in self.estimators_], axis=0)

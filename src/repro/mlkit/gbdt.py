@@ -1,0 +1,168 @@
+"""Gradient-boosted decision trees — the paper's GBDT backend.
+
+Multiclass softmax boosting: one regression tree per class per round fits
+the negative gradient of the cross-entropy loss (``y_onehot - p``), with
+shrinkage.  The paper finds GBDT "relatively stable … suitable for games
+with a large impact on users" (§IV-B2) — on Genshin-like permuted
+workloads it retains accuracy where DTC/RF drop (Fig 15).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mlkit.base import ClassifierMixin, Estimator
+from repro.mlkit.regression_tree import DecisionTreeRegressor
+from repro.util.rng import Seed, as_rng, spawn_rngs
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["GradientBoostedClassifier"]
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class GradientBoostedClassifier(Estimator, ClassifierMixin):
+    """Softmax gradient boosting over CART regression trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Boosting rounds.
+    learning_rate:
+        Shrinkage applied to every tree's contribution.
+    max_depth:
+        Depth of each base regression tree (shallow trees, boosted deep).
+    min_samples_leaf:
+        Leaf size of the base trees.
+    subsample:
+        Row subsampling fraction per round (stochastic gradient boosting).
+    seed:
+        Seed/generator.
+
+    Attributes
+    ----------
+    classes_:
+        Distinct labels.
+    estimators_:
+        ``n_estimators`` lists of ``n_classes`` fitted regression trees.
+    train_losses_:
+        Cross-entropy after each round (diagnostic; should be decreasing).
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        *,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        subsample: float = 1.0,
+        seed: Seed = None,
+    ):
+        if n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        check_positive("learning_rate", learning_rate)
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        check_fraction("subsample", subsample)
+        if subsample <= 0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = int(n_estimators)
+        self.learning_rate = float(learning_rate)
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.subsample = float(subsample)
+        self.seed = seed
+
+    def fit(self, X, y) -> "GradientBoostedClassifier":
+        """Boost ``n_estimators`` rounds on ``(X, y)``."""
+        X = self._coerce_X(X)
+        y = self._coerce_y(y, X.shape[0])
+        self.classes_ = np.unique(y)
+        k = len(self.classes_)
+        codes = np.searchsorted(self.classes_, y)
+        n = X.shape[0]
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), codes] = 1.0
+
+        rng = as_rng(self.seed)
+        # Prior log-odds as the initial raw score.
+        prior = np.clip(onehot.mean(axis=0), 1e-12, None)
+        self.init_score_ = np.log(prior)
+        logits = np.tile(self.init_score_, (n, 1))
+
+        self.estimators_: list[list[DecisionTreeRegressor]] = []
+        self.train_losses_: list[float] = []
+        for _ in range(self.n_estimators):
+            p = _softmax(logits)
+            residual = onehot - p  # negative gradient of cross-entropy
+            if self.subsample < 1.0:
+                m = max(2, int(round(self.subsample * n)))
+                rows = rng.choice(n, size=m, replace=False)
+            else:
+                rows = np.arange(n)
+            round_trees: list[DecisionTreeRegressor] = []
+            for c in range(k):
+                tree = DecisionTreeRegressor(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    seed=rng,
+                )
+                tree.fit(X[rows], residual[rows, c])
+                logits[:, c] += self.learning_rate * tree.predict(X)
+                round_trees.append(tree)
+            self.estimators_.append(round_trees)
+            p = np.clip(_softmax(logits), 1e-12, None)
+            self.train_losses_.append(float(-(onehot * np.log(p)).sum() / n))
+        self.n_features_in_ = X.shape[1]
+        self._mark_fitted()
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Raw additive scores (log-odds space), shape ``(n, n_classes)``."""
+        self._check_fitted()
+        X = self._coerce_X(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; model was fitted with {self.n_features_in_}"
+            )
+        logits = np.tile(self.init_score_, (X.shape[0], 1))
+        for round_trees in self.estimators_:
+            for c, tree in enumerate(round_trees):
+                logits[:, c] += self.learning_rate * tree.predict(X)
+        return logits
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Softmax class probabilities."""
+        return _softmax(self.decision_function(X))
+
+    def predict(self, X) -> np.ndarray:
+        """Highest-scoring class per row."""
+        return self.classes_[self.decision_function(X).argmax(axis=1)]
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Importances averaged over every boosted regression tree."""
+        self._check_fitted()
+        trees = [t for round_trees in self.estimators_ for t in round_trees]
+        return np.mean([t.feature_importances_ for t in trees], axis=0)
+
+    def staged_accuracy(self, X, y) -> np.ndarray:
+        """Accuracy after each boosting round (for learning curves)."""
+        self._check_fitted()
+        X = self._coerce_X(X)
+        y = np.asarray(y)
+        logits = np.tile(self.init_score_, (X.shape[0], 1))
+        out = np.empty(len(self.estimators_))
+        for i, round_trees in enumerate(self.estimators_):
+            for c, tree in enumerate(round_trees):
+                logits[:, c] += self.learning_rate * tree.predict(X)
+            pred = self.classes_[logits.argmax(axis=1)]
+            out[i] = float(np.mean(pred == y))
+        return out

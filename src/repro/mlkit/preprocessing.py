@@ -1,0 +1,144 @@
+"""Feature preprocessing: label encoding, one-hot, standardisation.
+
+The stage predictor's features are categorical stage-type histories;
+:class:`LabelEncoder` and :class:`OneHotEncoder` turn those into dense
+numeric matrices the tree models consume.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.mlkit.base import Estimator
+from repro.util.validation import check_array_1d, check_array_2d
+
+__all__ = ["LabelEncoder", "OneHotEncoder", "StandardScaler"]
+
+
+class LabelEncoder(Estimator):
+    """Map arbitrary hashable labels to contiguous integers ``0..K-1``.
+
+    Attributes
+    ----------
+    classes_:
+        Sorted array of the distinct labels seen during :meth:`fit`.
+    """
+
+    def fit(self, y: Sequence[Any]) -> "LabelEncoder":
+        """Learn the label set."""
+        y = np.asarray(y)
+        if y.size == 0:
+            raise ValueError("cannot fit LabelEncoder on empty input")
+        self.classes_ = np.unique(y)
+        self._index = {c: i for i, c in enumerate(self.classes_.tolist())}
+        self._mark_fitted()
+        return self
+
+    def transform(self, y: Sequence[Any]) -> np.ndarray:
+        """Encode labels; unseen labels raise ``ValueError``."""
+        self._check_fitted()
+        out = np.empty(len(y), dtype=np.int64)
+        for i, label in enumerate(np.asarray(y).tolist()):
+            try:
+                out[i] = self._index[label]
+            except KeyError:
+                raise ValueError(f"unseen label {label!r}") from None
+        return out
+
+    def fit_transform(self, y: Sequence[Any]) -> np.ndarray:
+        """Fit, then encode."""
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, codes: Sequence[int]) -> np.ndarray:
+        """Decode integer codes back to the original labels."""
+        self._check_fitted()
+        codes = check_array_1d("codes", codes).astype(int)
+        if codes.size and (codes.min() < 0 or codes.max() >= len(self.classes_)):
+            raise ValueError("codes out of range for fitted classes")
+        return self.classes_[codes]
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct labels seen at fit."""
+        self._check_fitted()
+        return len(self.classes_)
+
+
+class OneHotEncoder(Estimator):
+    """One-hot encode an integer category column-wise.
+
+    Fit on a 2-D integer matrix; each column gets its own category set.
+    """
+
+    def fit(self, X: Sequence[Sequence[Any]]) -> "OneHotEncoder":
+        """Learn per-column category sets."""
+        X = np.asarray(X)
+        if X.ndim != 2 or X.size == 0:
+            raise ValueError(f"X must be a non-empty 2-D array, got shape {X.shape}")
+        self.categories_ = [np.unique(X[:, j]) for j in range(X.shape[1])]
+        self._n_in = X.shape[1]
+        self._mark_fitted()
+        return self
+
+    def transform(self, X: Sequence[Sequence[Any]]) -> np.ndarray:
+        """Return the dense one-hot matrix; unseen values map to all-zeros."""
+        self._check_fitted()
+        X = np.asarray(X)
+        if X.ndim != 2 or X.shape[1] != self._n_in:
+            raise ValueError(f"expected shape (*, {self._n_in}), got {X.shape}")
+        blocks = []
+        for j, cats in enumerate(self.categories_):
+            block = (X[:, j][:, None] == cats[None, :]).astype(float)
+            blocks.append(block)
+        return np.concatenate(blocks, axis=1)
+
+    def fit_transform(self, X: Sequence[Sequence[Any]]) -> np.ndarray:
+        """Fit, then encode."""
+        return self.fit(X).transform(X)
+
+    @property
+    def n_features_out(self) -> int:
+        """Width of the one-hot output."""
+        self._check_fitted()
+        return int(sum(len(c) for c in self.categories_))
+
+
+class StandardScaler(Estimator):
+    """Column-wise standardisation to zero mean, unit variance.
+
+    Constant columns are left centred but unscaled (divisor forced to 1)
+    so the transform never divides by zero.
+    """
+
+    def fit(self, X) -> "StandardScaler":
+        """Learn per-column mean and scale."""
+        X = check_array_2d("X", X, dtype=float)
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit StandardScaler on empty input")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        self._mark_fitted()
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Standardise columns."""
+        self._check_fitted()
+        X = check_array_2d("X", X, dtype=float)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected {self.mean_.shape[0]} features, got {X.shape[1]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        """Fit, then standardise."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        """Undo :meth:`transform`."""
+        self._check_fitted()
+        X = check_array_2d("X", X, dtype=float)
+        return X * self.scale_ + self.mean_

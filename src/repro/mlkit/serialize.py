@@ -1,0 +1,108 @@
+"""Serialization of fitted mlkit models to/from JSON-compatible dicts.
+
+The paper stresses that "contention feature profiling and model training
+only need to be performed once" — which only pays off if the trained
+artifacts can be persisted.  Every fitted estimator round-trips through a
+plain dict (``model_to_dict`` / ``model_from_dict``) containing only
+JSON-safe types, so a :class:`~repro.core.pipeline.GameProfile` can be
+written to disk and reloaded on any host.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.mlkit._cart import Node
+from repro.mlkit.forest import RandomForestClassifier
+from repro.mlkit.gbdt import GradientBoostedClassifier
+from repro.mlkit.regression_tree import DecisionTreeRegressor
+from repro.mlkit.tree import DecisionTreeClassifier
+
+__all__ = ["model_to_dict", "model_from_dict"]
+
+
+def _classes_to_list(classes: np.ndarray) -> list:
+    return [c.item() if hasattr(c, "item") else c for c in classes]
+
+
+def model_to_dict(model: Any) -> Dict[str, Any]:
+    """Serialize a *fitted* mlkit model to a JSON-compatible dict."""
+    if isinstance(model, DecisionTreeClassifier):
+        model._check_fitted()
+        return {
+            "kind": "dtc",
+            "classes": _classes_to_list(model.classes_),
+            "n_features": int(model.n_features_in_),
+            "root": model.root_.to_dict(),
+        }
+    if isinstance(model, DecisionTreeRegressor):
+        model._check_fitted()
+        return {
+            "kind": "dtr",
+            "n_features": int(model.n_features_in_),
+            "root": model.root_.to_dict(),
+        }
+    if isinstance(model, RandomForestClassifier):
+        model._check_fitted()
+        return {
+            "kind": "rf",
+            "classes": _classes_to_list(model.classes_),
+            "n_features": int(model.n_features_in_),
+            "trees": [model_to_dict(t) for t in model.estimators_],
+        }
+    if isinstance(model, GradientBoostedClassifier):
+        model._check_fitted()
+        return {
+            "kind": "gbdt",
+            "classes": _classes_to_list(model.classes_),
+            "n_features": int(model.n_features_in_),
+            "learning_rate": float(model.learning_rate),
+            "init_score": np.asarray(model.init_score_).tolist(),
+            "rounds": [
+                [model_to_dict(t) for t in round_trees]
+                for round_trees in model.estimators_
+            ],
+        }
+    raise TypeError(f"cannot serialize model of type {type(model).__name__}")
+
+
+def model_from_dict(data: Dict[str, Any]) -> Any:
+    """Rebuild a fitted mlkit model from :func:`model_to_dict` output."""
+    kind = data.get("kind")
+    if kind == "dtc":
+        model = DecisionTreeClassifier()
+        model.classes_ = np.asarray(data["classes"])
+        model.n_features_in_ = int(data["n_features"])
+        model.root_ = Node.from_dict(data["root"])
+        model._mark_fitted()
+        return model
+    if kind == "dtr":
+        model = DecisionTreeRegressor()
+        model.n_features_in_ = int(data["n_features"])
+        model.root_ = Node.from_dict(data["root"])
+        model._mark_fitted()
+        return model
+    if kind == "rf":
+        model = RandomForestClassifier(max(len(data["trees"]), 1))
+        model.classes_ = np.asarray(data["classes"])
+        model.n_features_in_ = int(data["n_features"])
+        model.estimators_ = [model_from_dict(t) for t in data["trees"]]
+        model._mark_fitted()
+        return model
+    if kind == "gbdt":
+        model = GradientBoostedClassifier(
+            max(len(data["rounds"]), 1), learning_rate=float(data["learning_rate"])
+        )
+        model.classes_ = np.asarray(data["classes"])
+        model.n_features_in_ = int(data["n_features"])
+        model.init_score_ = np.asarray(data["init_score"], dtype=float)
+        model.estimators_ = [
+            [model_from_dict(t) for t in round_trees]
+            for round_trees in data["rounds"]
+        ]
+        model.train_losses_ = []
+        model._mark_fitted()
+        return model
+    raise ValueError(f"unknown model kind {kind!r}")

@@ -1,0 +1,159 @@
+"""CART decision-tree classifier — the paper's DTC backend.
+
+The stage predictor (§IV-B) offers three interchangeable models; the
+Decision Tree Classifier is the default and, per the paper's Fig 15,
+reaches > 92 % next-stage accuracy on most games.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mlkit._cart import (
+    Node,
+    best_split_classification,
+    count_leaves,
+    feature_importances,
+    grow_tree,
+    predict_leaf_values,
+    tree_depth,
+)
+from repro.mlkit.base import ClassifierMixin, Estimator
+from repro.util.rng import Seed, as_rng
+from repro.util.validation import check_in
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+class DecisionTreeClassifier(Estimator, ClassifierMixin):
+    """CART classifier with Gini or entropy impurity.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; ``None`` grows until pure or exhausted.
+    min_samples_split:
+        Minimum node size eligible for splitting.
+    min_samples_leaf:
+        Minimum samples in each child of a split.
+    criterion:
+        ``"gini"`` or ``"entropy"``.
+    max_features:
+        Features considered per node; ``None`` = all, an int = that many
+        random features (used by the random forest).
+    seed:
+        Seed/generator for feature subsampling.
+
+    Attributes
+    ----------
+    classes_:
+        Distinct labels in training order (sorted).
+    root_:
+        The fitted tree root.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        criterion: str = "gini",
+        max_features: Optional[int] = None,
+        seed: Seed = None,
+    ):
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1 or None, got {max_depth}")
+        if min_samples_split < 2:
+            raise ValueError(f"min_samples_split must be >= 2, got {min_samples_split}")
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        if max_features is not None and max_features < 1:
+            raise ValueError(f"max_features must be >= 1 or None, got {max_features}")
+        check_in("criterion", criterion, ("gini", "entropy"))
+        self.max_depth = max_depth
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.criterion = criterion
+        self.max_features = max_features
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        """Grow the tree on ``(X, y)``; labels may be any hashable values."""
+        X = self._coerce_X(X)
+        y = self._coerce_y(y, X.shape[0])
+        self.classes_, codes = np.unique(y, return_inverse=True)
+        n_classes = len(self.classes_)
+        rng = as_rng(self.seed)
+
+        def splitter(Xn, yn, feats):
+            return best_split_classification(
+                Xn, yn, feats, n_classes, self.criterion, self.min_samples_leaf
+            )
+
+        def leaf_value(yn):
+            counts = np.bincount(yn, minlength=n_classes).astype(float)
+            return counts / counts.sum()
+
+        def impurity(yn):
+            p = np.bincount(yn, minlength=n_classes) / yn.size
+            if self.criterion == "gini":
+                return float(1.0 - np.dot(p, p))
+            nz = p[p > 0]
+            return float(-(nz * np.log2(nz)).sum())
+
+        mf = self.max_features
+        if mf is not None:
+            mf = min(mf, X.shape[1])
+        self.root_ = grow_tree(
+            X,
+            codes,
+            splitter=splitter,
+            leaf_value=leaf_value,
+            impurity=impurity,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=mf,
+            rng=rng,
+        )
+        self.n_features_in_ = X.shape[1]
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class-probability estimates, shape ``(n, n_classes)``."""
+        self._check_fitted()
+        X = self._coerce_X(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; model was fitted with {self.n_features_in_}"
+            )
+        return predict_leaf_values(self.root_, X)
+
+    def predict(self, X) -> np.ndarray:
+        """Most probable class for each row."""
+        proba = self.predict_proba(X)  # raises NotFittedError when unfitted
+        return self.classes_[proba.argmax(axis=1)]
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Fitted tree depth."""
+        self._check_fitted()
+        return tree_depth(self.root_)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaves in the fitted tree."""
+        self._check_fitted()
+        return count_leaves(self.root_)
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Impurity-decrease importances, normalised to sum to 1."""
+        self._check_fitted()
+        return feature_importances(self.root_, self.n_features_in_)

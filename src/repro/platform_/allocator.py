@@ -1,0 +1,178 @@
+"""cgroup-like allocation front end with audit trail.
+
+:class:`Allocator` wraps a :class:`~repro.platform_.server.Server` and is
+the only object the schedulers mutate.  It adds:
+
+* a *utilisation cap* — the scheduler-level budget (95 % in the paper's
+  Fig 9) kept below the hard hardware capacity;
+* an audit log of every grant/retune/release, which the benchmarks use
+  to reconstruct allocation timelines;
+* conservation checking (the property the tests assert: the sum of
+  ceilings never exceeds the cap on any dimension at any time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.platform_.resources import ResourceVector
+from repro.platform_.server import CapacityError, Placement, Server
+from repro.util.validation import check_fraction
+
+__all__ = ["AllocationError", "AllocationEvent", "Allocator"]
+
+
+class AllocationError(RuntimeError):
+    """An allocation request that cannot be honoured under the cap."""
+
+
+@dataclass(frozen=True)
+class AllocationEvent:
+    """One entry of the audit trail."""
+
+    time: float
+    action: str  # "place" | "retune" | "release"
+    session_id: str
+    gpu_index: int
+    allocation: ResourceVector
+
+
+class Allocator:
+    """Capped allocation manager over one server.
+
+    Parameters
+    ----------
+    server:
+        The managed server.
+    utilization_cap:
+        Fraction of hardware capacity the allocator will hand out
+        (default 0.95, the paper's Fig-9 upper limit).
+    """
+
+    def __init__(self, server: Server, *, utilization_cap: float = 0.95):
+        check_fraction("utilization_cap", utilization_cap, inclusive=False)
+        self.server = server
+        self.utilization_cap = float(utilization_cap)
+        self.events: List[AllocationEvent] = []
+
+    # ------------------------------------------------------------------
+    def capped_capacity(self, gpu_index: int) -> ResourceVector:
+        """Capacity × cap, as seen by a session on ``gpu_index``."""
+        return self.server.capacity_vector(gpu_index) * self.utilization_cap
+
+    def capped_available(self, gpu_index: int) -> ResourceVector:
+        """Remaining budget under the cap for a new session on ``gpu_index``."""
+        used = self.server.capacity_vector(gpu_index) - self.server.available(gpu_index)
+        return (self.capped_capacity(gpu_index) - used).clip(lo=0.0)
+
+    def can_place(self, allocation: ResourceVector, gpu_index: int) -> bool:
+        """Admission test under the cap."""
+        return allocation.fits_within(self.capped_available(gpu_index))
+
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        session_id: str,
+        allocation: ResourceVector,
+        *,
+        gpu_index: Optional[int] = None,
+        time: float = 0.0,
+    ) -> Placement:
+        """Admit a session; picks the least-loaded GPU when none is given.
+
+        Raises
+        ------
+        AllocationError
+            When the allocation does not fit under the cap on any
+            admissible GPU.
+        """
+        candidates = (
+            [gpu_index] if gpu_index is not None else self.gpu_order()
+        )
+        for gi in candidates:
+            if self.can_place(allocation, gi):
+                placement = self.server.place(session_id, gi, allocation)
+                self.events.append(
+                    AllocationEvent(time, "place", session_id, gi, allocation)
+                )
+                return placement
+        raise AllocationError(
+            f"cannot place {session_id!r} with {allocation} under "
+            f"{self.utilization_cap:.0%} cap"
+        )
+
+    def retune(
+        self, session_id: str, allocation: ResourceVector, *, time: float = 0.0
+    ) -> None:
+        """Change a hosted session's ceiling, enforcing the cap.
+
+        Raises
+        ------
+        AllocationError
+            When the new ceiling would push any dimension over the cap.
+        """
+        placement = self.server.placements.get(session_id)
+        if placement is None:
+            raise KeyError(f"session {session_id!r} is not placed")
+        others_budget = self.capped_available(placement.gpu_index)
+        budget = (others_budget + placement.allocation).clip(lo=0.0)
+        if not allocation.fits_within(budget):
+            raise AllocationError(
+                f"retune of {session_id!r} to {allocation} exceeds the "
+                f"{self.utilization_cap:.0%} cap (budget {budget})"
+            )
+        try:
+            self.server.set_allocation(session_id, allocation)
+        except CapacityError as exc:  # pragma: no cover - cap < capacity
+            raise AllocationError(str(exc)) from exc
+        self.events.append(
+            AllocationEvent(time, "retune", session_id, placement.gpu_index, allocation)
+        )
+
+    def retune_clamped(
+        self, session_id: str, allocation: ResourceVector, *, time: float = 0.0
+    ) -> ResourceVector:
+        """Retune, clamping the request into the available budget.
+
+        Returns the allocation actually granted.  This is what the
+        regulator uses when it *shrinks* a session to resolve a spike —
+        shrinking must never fail.
+        """
+        placement = self.server.placements.get(session_id)
+        if placement is None:
+            raise KeyError(f"session {session_id!r} is not placed")
+        budget = (
+            self.capped_available(placement.gpu_index) + placement.allocation
+        ).clip(lo=0.0)
+        granted = allocation.minimum(budget).clip(lo=0.0)
+        self.server.set_allocation(session_id, granted)
+        self.events.append(
+            AllocationEvent(time, "retune", session_id, placement.gpu_index, granted)
+        )
+        return granted
+
+    def release(self, session_id: str, *, time: float = 0.0) -> None:
+        """Remove a session and free its reservation."""
+        placement = self.server.remove(session_id)
+        self.events.append(
+            AllocationEvent(
+                time, "release", session_id, placement.gpu_index, ResourceVector.zeros()
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def gpu_order(self) -> List[int]:
+        """GPUs by descending remaining core capacity."""
+        slack = [
+            (self.server.available(i).gpu, i) for i in range(self.server.n_gpus)
+        ]
+        slack.sort(reverse=True)
+        return [i for _, i in slack]
+
+    def allocation_of(self, session_id: str) -> ResourceVector:
+        """Current ceiling of a hosted session."""
+        placement = self.server.placements.get(session_id)
+        if placement is None:
+            raise KeyError(f"session {session_id!r} is not placed")
+        return placement.allocation

@@ -1,0 +1,105 @@
+"""Cross-session performance interference.
+
+Capacity partitioning (cgroups) does not fully isolate co-located games:
+they still share caches, memory bandwidth and the GPU's internal fabric.
+The paper's related work is explicit that this is what GAugur/Bubble-Up/
+SMiTe model, and that "performance degradation depends only on the
+number of co-located games" is an oversimplification CoCG must beat.
+
+:class:`InterferenceModel` provides the substrate: given every
+co-located session's usage, each session's *effective demand* inflates
+by a factor that grows with the **others'** pressure on the shared
+memory subsystem (a weighted blend of their CPU and GPU-memory usage).
+The default intensity is mild (a few percent at realistic loads), and
+the model can be disabled entirely; the interference ablation bench
+quantifies its effect on every strategy.
+
+The functional form is the linear contention model the co-location
+literature uses below saturation::
+
+    slowdown_i = 1 + intensity · min(pressure_{-i} / saturation, 1)
+    pressure_{-i} = Σ_{j≠i} (w_cpu·cpu_j + w_mem·gpu_mem_j) / 100
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.platform_.resources import ResourceVector
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["InterferenceModel"]
+
+
+@dataclass(frozen=True)
+class InterferenceModel:
+    """Linear shared-resource contention.
+
+    Parameters
+    ----------
+    intensity:
+        Maximum demand inflation (0.08 = up to +8 % at saturation).
+        Zero disables interference.
+    cpu_weight, mem_weight:
+        How strongly a neighbour's CPU / GPU-memory usage presses on the
+        shared subsystem.
+    saturation:
+        Neighbour pressure (in units of "fully busy sessions") at which
+        the inflation saturates.
+    """
+
+    intensity: float = 0.08
+    cpu_weight: float = 0.6
+    mem_weight: float = 0.4
+    saturation: float = 1.5
+
+    def __post_init__(self) -> None:
+        check_nonnegative("intensity", self.intensity)
+        check_nonnegative("cpu_weight", self.cpu_weight)
+        check_nonnegative("mem_weight", self.mem_weight)
+        check_positive("saturation", self.saturation)
+        if self.cpu_weight + self.mem_weight <= 0:
+            raise ValueError("at least one weight must be positive")
+
+    # ------------------------------------------------------------------
+    def pressure_of(self, usage: ResourceVector) -> float:
+        """One session's pressure on the shared subsystem, in [0, ~1]."""
+        return (
+            self.cpu_weight * usage.cpu + self.mem_weight * usage.gpu_mem
+        ) / (100.0 * (self.cpu_weight + self.mem_weight))
+
+    def slowdowns(
+        self, usages: Mapping[str, ResourceVector]
+    ) -> Dict[str, float]:
+        """Per-session demand-inflation factors (≥ 1).
+
+        A session alone on the server is never slowed.  Factors depend
+        only on the *other* sessions' usage, so shrinking a victim does
+        not (spuriously) shrink its own penalty.
+        """
+        if self.intensity == 0.0 or len(usages) <= 1:
+            return {sid: 1.0 for sid in usages}
+        pressures = {sid: self.pressure_of(u) for sid, u in usages.items()}
+        total = sum(pressures.values())
+        out = {}
+        for sid in usages:
+            others = total - pressures[sid]
+            level = min(others / self.saturation, 1.0)
+            out[sid] = 1.0 + self.intensity * level
+        return out
+
+    def inflate(
+        self, demand: ResourceVector, slowdown: float
+    ) -> ResourceVector:
+        """Apply a slowdown factor to a demand vector (clipped at 100)."""
+        if slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {slowdown}")
+        return (demand * slowdown).clip(0.0, 100.0)
+
+    @staticmethod
+    def disabled() -> "InterferenceModel":
+        """A model that never interferes (the default substrate)."""
+        return InterferenceModel(intensity=0.0)

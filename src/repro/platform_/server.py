@@ -1,0 +1,265 @@
+"""Server model: CPU/RAM host capacity plus discrete GPUs.
+
+The paper's testbed is a 4-core i7 with two GTX-2080 GPUs; each game is
+deployed on exactly one GPU (§IV-C: "each game is deployed on a single
+GPU device rather than across multiple GPUs").  The server therefore
+tracks host-wide CPU/RAM and per-GPU GPU/GPU-memory allocations
+separately — co-location pressure on the CPU is global, on the GPU it is
+per-device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.platform_.resources import (
+    CPU,
+    DIMENSIONS,
+    GPU,
+    GPU_MEM,
+    N_DIMS,
+    RAM,
+    ResourceVector,
+)
+from repro.util.validation import check_positive
+
+__all__ = ["GPUDevice", "Placement", "Server", "CapacityError"]
+
+
+class CapacityError(ValueError):
+    """Raised when an operation would exceed server capacity."""
+
+
+@dataclass
+class GPUDevice:
+    """One discrete GPU with its own core and memory capacity (percent)."""
+
+    gpu_capacity: float = 100.0
+    gpu_mem_capacity: float = 100.0
+    name: str = "gpu"
+
+    def __post_init__(self) -> None:
+        check_positive("gpu_capacity", self.gpu_capacity)
+        check_positive("gpu_mem_capacity", self.gpu_mem_capacity)
+
+
+@dataclass
+class Placement:
+    """A session hosted on a server: which GPU it is pinned to and the
+    cgroup-like ceiling currently granted to it."""
+
+    session_id: str
+    gpu_index: int
+    allocation: ResourceVector
+
+
+class Server:
+    """A cloud-game backend server.
+
+    Parameters
+    ----------
+    server_id:
+        Unique name.
+    cpu_capacity, ram_capacity:
+        Host-wide capacities in percent (default 100).
+    gpus:
+        GPU devices; default two identical 100 %/100 % devices (matching
+        the paper's dual-GTX-2080 host).
+
+    Notes
+    -----
+    * Placement is *admission*: :meth:`place` reserves an allocation and
+      raises :class:`CapacityError` when the reservation does not fit.
+    * :meth:`set_allocation` retunes a hosted session's ceiling (what the
+      scheduler does every 5-second control tick).
+    * ``Server`` does not model *usage* — that is telemetry, produced by
+      the simulation from sessions' demand and their ceilings.
+    """
+
+    def __init__(
+        self,
+        server_id: str,
+        *,
+        cpu_capacity: float = 100.0,
+        ram_capacity: float = 100.0,
+        gpus: Optional[Iterable[GPUDevice]] = None,
+    ):
+        check_positive("cpu_capacity", cpu_capacity)
+        check_positive("ram_capacity", ram_capacity)
+        self.server_id = str(server_id)
+        self.cpu_capacity = float(cpu_capacity)
+        self.ram_capacity = float(ram_capacity)
+        self.gpus: List[GPUDevice] = list(gpus) if gpus is not None else [
+            GPUDevice(name="gpu0"),
+            GPUDevice(name="gpu1"),
+        ]
+        if not self.gpus:
+            raise ValueError("a server needs at least one GPU")
+        self._placements: Dict[str, Placement] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_gpus(self) -> int:
+        """Number of GPU devices."""
+        return len(self.gpus)
+
+    @property
+    def placements(self) -> Dict[str, Placement]:
+        """Read-only view of hosted sessions."""
+        return dict(self._placements)
+
+    @property
+    def session_ids(self) -> List[str]:
+        """Hosted session ids."""
+        return list(self._placements)
+
+    def capacity_vector(self, gpu_index: int) -> ResourceVector:
+        """Capacity as seen by a session pinned to ``gpu_index``."""
+        gpu = self._gpu(gpu_index)
+        return ResourceVector(
+            cpu=self.cpu_capacity,
+            gpu=gpu.gpu_capacity,
+            gpu_mem=gpu.gpu_mem_capacity,
+            ram=self.ram_capacity,
+        )
+
+    def _gpu(self, gpu_index: int) -> GPUDevice:
+        if not (0 <= gpu_index < len(self.gpus)):
+            raise IndexError(
+                f"gpu_index {gpu_index} out of range for {len(self.gpus)} GPUs"
+            )
+        return self.gpus[gpu_index]
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def allocated_host(self) -> np.ndarray:
+        """Summed (cpu, ram) allocation over all sessions."""
+        cpu = sum(p.allocation.cpu for p in self._placements.values())
+        ram = sum(p.allocation.ram for p in self._placements.values())
+        return np.array([cpu, ram])
+
+    def allocated_gpu(self, gpu_index: int) -> np.ndarray:
+        """Summed (gpu, gpu_mem) allocation on one device."""
+        self._gpu(gpu_index)
+        g = sum(
+            p.allocation.gpu
+            for p in self._placements.values()
+            if p.gpu_index == gpu_index
+        )
+        m = sum(
+            p.allocation.gpu_mem
+            for p in self._placements.values()
+            if p.gpu_index == gpu_index
+        )
+        return np.array([g, m])
+
+    def available(self, gpu_index: int) -> ResourceVector:
+        """Remaining capacity for a new session pinned to ``gpu_index``."""
+        host = self.allocated_host()
+        dev = self.allocated_gpu(gpu_index)
+        gpu = self._gpu(gpu_index)
+        return ResourceVector(
+            cpu=self.cpu_capacity - host[0],
+            gpu=gpu.gpu_capacity - dev[0],
+            gpu_mem=gpu.gpu_mem_capacity - dev[1],
+            ram=self.ram_capacity - host[1],
+        )
+
+    def headroom_fraction(self) -> float:
+        """Smallest relative slack across host dims and all GPU dims."""
+        fracs = [
+            1.0 - self.allocated_host()[0] / self.cpu_capacity,
+            1.0 - self.allocated_host()[1] / self.ram_capacity,
+        ]
+        for i, gpu in enumerate(self.gpus):
+            dev = self.allocated_gpu(i)
+            fracs.append(1.0 - dev[0] / gpu.gpu_capacity)
+            fracs.append(1.0 - dev[1] / gpu.gpu_mem_capacity)
+        return float(min(fracs))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def fits(self, allocation: ResourceVector, gpu_index: int) -> bool:
+        """Whether a new allocation on ``gpu_index`` would fit."""
+        return allocation.fits_within(self.available(gpu_index))
+
+    def place(
+        self, session_id: str, gpu_index: int, allocation: ResourceVector
+    ) -> Placement:
+        """Admit a session with an initial allocation.
+
+        Raises
+        ------
+        CapacityError
+            If the allocation does not fit on the host or the device.
+        ValueError
+            If the session is already placed or the allocation is negative.
+        """
+        if session_id in self._placements:
+            raise ValueError(f"session {session_id!r} is already placed")
+        if not allocation.is_nonnegative():
+            raise ValueError(f"allocation must be non-negative, got {allocation}")
+        if not self.fits(allocation, gpu_index):
+            raise CapacityError(
+                f"allocation {allocation} does not fit on {self.server_id}/gpu{gpu_index} "
+                f"(available {self.available(gpu_index)})"
+            )
+        placement = Placement(session_id, int(gpu_index), allocation)
+        self._placements[session_id] = placement
+        return placement
+
+    def set_allocation(self, session_id: str, allocation: ResourceVector) -> None:
+        """Retune a hosted session's ceiling (cgroup update).
+
+        The new allocation must keep the server within capacity.
+        """
+        placement = self._require(session_id)
+        if not allocation.is_nonnegative():
+            raise ValueError(f"allocation must be non-negative, got {allocation}")
+        old = placement.allocation
+        placement.allocation = allocation
+        if (
+            self.allocated_host()[0] > self.cpu_capacity + 1e-9
+            or self.allocated_host()[1] > self.ram_capacity + 1e-9
+            or any(
+                self.allocated_gpu(i)[0] > g.gpu_capacity + 1e-9
+                or self.allocated_gpu(i)[1] > g.gpu_mem_capacity + 1e-9
+                for i, g in enumerate(self.gpus)
+            )
+        ):
+            placement.allocation = old
+            raise CapacityError(
+                f"allocation {allocation} for {session_id!r} exceeds capacity"
+            )
+
+    def remove(self, session_id: str) -> Placement:
+        """Release a session's reservation."""
+        placement = self._require(session_id)
+        del self._placements[session_id]
+        return placement
+
+    def _require(self, session_id: str) -> Placement:
+        try:
+            return self._placements[session_id]
+        except KeyError:
+            raise KeyError(f"session {session_id!r} is not placed on {self.server_id}") from None
+
+    def least_loaded_gpu(self) -> int:
+        """GPU index with the most remaining core capacity."""
+        slack = [
+            g.gpu_capacity - self.allocated_gpu(i)[0] for i, g in enumerate(self.gpus)
+        ]
+        return int(np.argmax(slack))
+
+    def __repr__(self) -> str:
+        return (
+            f"Server({self.server_id!r}, sessions={len(self._placements)}, "
+            f"gpus={len(self.gpus)})"
+        )

@@ -1,0 +1,152 @@
+"""A compact discrete-event simulation engine.
+
+Time is a float in seconds (the co-location experiments use integer
+ticks).  Events are ``(time, priority, seq, callback)`` entries in a
+heap; callbacks may schedule further events.  The engine is deliberately
+minimal — deterministic ordering and cancellation are the two features
+the schedulers rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Event", "SimulationEngine"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering: time, then priority, then FIFO."""
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[["SimulationEngine"], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """Event loop with deterministic tie-breaking.
+
+    Events at equal times fire in (priority, insertion) order, so a
+    control tick scheduled with a lower priority number always observes
+    the same state regardless of scheduling order in user code.
+    """
+
+    def __init__(self, *, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    def at(
+        self,
+        time: float,
+        callback: Callable[["SimulationEngine"], None],
+        *,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` at absolute ``time`` (≥ now)."""
+        if time < self._now - 1e-9:
+            raise ValueError(f"cannot schedule at {time} < now ({self._now})")
+        event = Event(float(time), int(priority), next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(
+        self,
+        delay: float,
+        callback: Callable[["SimulationEngine"], None],
+        *,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.at(self._now + delay, callback, priority=priority)
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[["SimulationEngine"], None],
+        *,
+        priority: int = 0,
+        start_delay: Optional[float] = None,
+    ) -> Callable[[], None]:
+        """Run ``callback`` every ``interval`` seconds until cancelled.
+
+        Returns a cancel function.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        state = {"event": None, "stopped": False}
+
+        def fire(engine: "SimulationEngine") -> None:
+            if state["stopped"]:
+                return
+            callback(engine)
+            if not state["stopped"]:
+                state["event"] = engine.after(interval, fire, priority=priority)
+
+        first_delay = interval if start_delay is None else start_delay
+        state["event"] = self.after(first_delay, fire, priority=priority)
+
+        def cancel() -> None:
+            state["stopped"] = True
+            if state["event"] is not None:
+                state["event"].cancel()
+
+        return cancel
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(self)
+            self._processed += 1
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run events with ``time <= end_time``; advance the clock to it."""
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > end_time + 1e-9:
+                break
+            self.step()
+        self._now = max(self._now, float(end_time))
+
+    def run(self) -> None:
+        """Run until the queue drains."""
+        while self.step():
+            pass

@@ -1,0 +1,166 @@
+"""The measurement plane: what the scheduler can actually see.
+
+The real system observes per-process CPU via cgroups and GPU counters
+via GPU-Z — noisy, ceiling-clipped *usage*, never the game's latent
+demand.  :class:`TelemetryRecorder` enforces that separation: the
+simulation records (demand, allocation) pairs, and consumers read
+noise-perturbed usage ``min(demand, allocation) + ε``.  Ground-truth
+demand stays available for evaluation but is marked as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.platform_.resources import DIMENSIONS, N_DIMS, ResourceVector
+from repro.util.rng import Seed, as_rng
+from repro.util.timeseries import ResourceSeries
+from repro.util.validation import check_nonnegative
+
+__all__ = ["UsageSample", "TelemetryRecorder"]
+
+
+@dataclass(frozen=True)
+class UsageSample:
+    """One second of one session's telemetry."""
+
+    time: int
+    session_id: str
+    demand: ResourceVector
+    allocation: ResourceVector
+
+    @property
+    def usage(self) -> ResourceVector:
+        """True consumption: demand clipped at the ceiling."""
+        return self.demand.minimum(self.allocation)
+
+
+class TelemetryRecorder:
+    """Accumulates per-session usage and serves it back as time series.
+
+    Parameters
+    ----------
+    noise_std:
+        Standard deviation (percentage points) of the additive sensor
+        noise applied to *observed* usage.  Ground-truth series are not
+        perturbed.
+    seed:
+        Noise stream seed.
+    """
+
+    def __init__(self, *, noise_std: float = 0.8, seed: Seed = 0):
+        check_nonnegative("noise_std", noise_std)
+        self.noise_std = float(noise_std)
+        self._rng = as_rng(seed)
+        self._samples: Dict[str, List[UsageSample]] = {}
+        self._observed: Dict[str, List[np.ndarray]] = {}
+        self._times: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        time: int,
+        session_id: str,
+        demand: ResourceVector,
+        allocation: ResourceVector,
+    ) -> ResourceVector:
+        """Record one second; returns the *observed* (noisy) usage."""
+        sample = UsageSample(int(time), session_id, demand, allocation)
+        self._samples.setdefault(session_id, []).append(sample)
+        usage = sample.usage.array
+        if self.noise_std > 0:
+            observed = usage + self._rng.normal(scale=self.noise_std, size=N_DIMS)
+            observed = np.clip(observed, 0.0, 100.0)
+        else:
+            observed = usage.copy()
+        self._observed.setdefault(session_id, []).append(observed)
+        self._times.setdefault(session_id, []).append(int(time))
+        return ResourceVector.from_array(observed)
+
+    # ------------------------------------------------------------------
+    @property
+    def session_ids(self) -> List[str]:
+        """Sessions with at least one recorded sample."""
+        return list(self._samples)
+
+    def n_samples(self, session_id: str) -> int:
+        """Number of recorded seconds for one session."""
+        return len(self._samples.get(session_id, ()))
+
+    def observed_series(self, session_id: str) -> ResourceSeries:
+        """Noisy usage telemetry of one session (what the profiler sees)."""
+        rows = self._observed.get(session_id)
+        if not rows:
+            raise KeyError(f"no telemetry for session {session_id!r}")
+        start = float(self._times[session_id][0])
+        return ResourceSeries(np.stack(rows), DIMENSIONS, period=1.0, start=start)
+
+    def observed_window(
+        self, session_id: str, seconds: int
+    ) -> Optional[np.ndarray]:
+        """Mean observed usage over the last ``seconds`` samples.
+
+        Returns ``None`` when fewer samples exist (a frame needs a full
+        window).
+        """
+        rows = self._observed.get(session_id)
+        if rows is None or len(rows) < seconds:
+            return None
+        return np.mean(rows[-seconds:], axis=0)
+
+    def true_demand_series(self, session_id: str) -> ResourceSeries:
+        """Ground-truth demand (evaluation only — invisible in a real
+        deployment)."""
+        samples = self._samples.get(session_id)
+        if not samples:
+            raise KeyError(f"no telemetry for session {session_id!r}")
+        return ResourceSeries(
+            np.stack([s.demand.array for s in samples]),
+            DIMENSIONS,
+            period=1.0,
+            start=float(samples[0].time),
+        )
+
+    def true_usage_series(self, session_id: str) -> ResourceSeries:
+        """Ground-truth clipped usage (demand ∧ allocation, no noise)."""
+        samples = self._samples.get(session_id)
+        if not samples:
+            raise KeyError(f"no telemetry for session {session_id!r}")
+        return ResourceSeries(
+            np.stack([s.usage.array for s in samples]),
+            DIMENSIONS,
+            period=1.0,
+            start=float(samples[0].time),
+        )
+
+    def allocation_series(self, session_id: str) -> ResourceSeries:
+        """Granted ceilings over time (the Fig-10 'allocated' line)."""
+        samples = self._samples.get(session_id)
+        if not samples:
+            raise KeyError(f"no telemetry for session {session_id!r}")
+        return ResourceSeries(
+            np.stack([s.allocation.array for s in samples]),
+            DIMENSIONS,
+            period=1.0,
+            start=float(samples[0].time),
+        )
+
+    # ------------------------------------------------------------------
+    def total_usage_matrix(self, horizon: int) -> np.ndarray:
+        """Server-wide true usage summed over sessions, shape ``(horizon, 4)``.
+
+        Seconds with no running session contribute zero.
+        """
+        total = np.zeros((int(horizon), N_DIMS))
+        for sid, samples in self._samples.items():
+            for s in samples:
+                if 0 <= s.time < horizon:
+                    total[s.time] += s.usage.array
+        return total
+
+    def peak_total_usage(self, horizon: int) -> np.ndarray:
+        """Per-dimension max of the summed usage (Fig-9's headline)."""
+        return self.total_usage_matrix(horizon).max(axis=0)

@@ -1,0 +1,28 @@
+"""GamingAnywhere-style streaming pipeline model.
+
+The paper hosts games under GamingAnywhere (§V-A): the server captures
+rendered frames, encodes, and streams them; the client decodes, displays,
+and sends input commands back.  For scheduling, the pipeline matters in
+two ways, and this package models both:
+
+* the **encoder** consumes server CPU in proportion to pixel rate — an
+  overhead the co-location budget must carry per hosted session;
+* the **end-to-end latency** (capture → encode → network → decode) is a
+  QoS term on top of FPS; the paper cites a < 3 ms network target for
+  interaction-grade play.
+"""
+
+from repro.streaming.encoder import EncoderModel, EncodeResult
+from repro.streaming.network import NetworkModel, NetworkSample
+from repro.streaming.client import ClientModel
+from repro.streaming.pipeline import StreamingPipeline, LatencyBreakdown
+
+__all__ = [
+    "EncoderModel",
+    "EncodeResult",
+    "NetworkModel",
+    "NetworkSample",
+    "ClientModel",
+    "StreamingPipeline",
+    "LatencyBreakdown",
+]

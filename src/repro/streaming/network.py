@@ -1,0 +1,93 @@
+"""Network model: latency, jitter and bandwidth between server and client.
+
+The operator-managed connection contributes propagation latency plus
+queueing when the stream's bitrate approaches the link bandwidth.  The
+paper quotes a < 3 ms network target for interaction-grade cloud play;
+the model makes that a checkable property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import Seed, as_rng
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["NetworkModel", "NetworkSample"]
+
+
+@dataclass(frozen=True)
+class NetworkSample:
+    """One observation of the link."""
+
+    latency_ms: float
+    delivered_mbps: float
+    dropped: bool
+
+
+class NetworkModel:
+    """A stochastic last-mile link.
+
+    Parameters
+    ----------
+    base_latency_ms:
+        Propagation + switching latency.
+    jitter_ms:
+        Half-normal jitter scale added on top.
+    bandwidth_mbps:
+        Link capacity; offered load beyond it is dropped and queueing
+        delay grows sharply as utilisation approaches 1.
+    loss_rate:
+        Independent packet-level drop probability per sample.
+    seed:
+        Randomness for jitter and loss.
+    """
+
+    def __init__(
+        self,
+        *,
+        base_latency_ms: float = 2.0,
+        jitter_ms: float = 0.4,
+        bandwidth_mbps: float = 100.0,
+        loss_rate: float = 0.001,
+        seed: Seed = 0,
+    ):
+        check_positive("base_latency_ms", base_latency_ms)
+        check_nonnegative("jitter_ms", jitter_ms)
+        check_positive("bandwidth_mbps", bandwidth_mbps)
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.base_latency_ms = float(base_latency_ms)
+        self.jitter_ms = float(jitter_ms)
+        self.bandwidth_mbps = float(bandwidth_mbps)
+        self.loss_rate = float(loss_rate)
+        self._rng = as_rng(seed)
+
+    def transmit_second(self, offered_mbps: float) -> NetworkSample:
+        """Carry one second of stream at ``offered_mbps``."""
+        check_nonnegative("offered_mbps", offered_mbps)
+        delivered = min(offered_mbps, self.bandwidth_mbps)
+        utilisation = min(offered_mbps / self.bandwidth_mbps, 0.999)
+        # M/M/1-flavoured queueing inflation of the base latency.
+        queueing = self.base_latency_ms * utilisation / (1.0 - utilisation)
+        jitter = abs(self._rng.normal(scale=self.jitter_ms)) if self.jitter_ms else 0.0
+        dropped = bool(self._rng.random() < self.loss_rate) or (
+            offered_mbps > self.bandwidth_mbps
+        )
+        return NetworkSample(
+            latency_ms=float(self.base_latency_ms + queueing + jitter),
+            delivered_mbps=float(delivered),
+            dropped=dropped,
+        )
+
+    def meets_paper_target(self, offered_mbps: float, *, target_ms: float = 3.0,
+                           samples: int = 100) -> bool:
+        """Check the paper's < 3 ms network requirement at a load level.
+
+        Uses the median of ``samples`` draws so jitter outliers don't
+        dominate.
+        """
+        lat = [self.transmit_second(offered_mbps).latency_ms for _ in range(samples)]
+        return float(np.median(lat)) < target_ms

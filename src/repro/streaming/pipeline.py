@@ -1,0 +1,88 @@
+"""End-to-end streaming pipeline: capture → encode → network → decode.
+
+Ties the encoder, network and client models together into the Fig-1
+workflow and produces a per-second latency breakdown plus the CPU
+overhead each hosted stream adds to the server — which the co-location
+experiments charge against the host CPU budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.streaming.client import ClientModel
+from repro.streaming.encoder import EncoderModel
+from repro.streaming.network import NetworkModel
+
+__all__ = ["LatencyBreakdown", "StreamingPipeline"]
+
+#: Frame capture/copy latency on the server (ms per frame).
+_CAPTURE_MS = 0.5
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Per-frame latency contributions in milliseconds."""
+
+    capture_ms: float
+    encode_ms: float
+    network_ms: float
+    decode_ms: float
+    display_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        """Glass-to-glass latency: the sum of every component."""
+        return (
+            self.capture_ms
+            + self.encode_ms
+            + self.network_ms
+            + self.decode_ms
+            + self.display_ms
+        )
+
+    def interaction_grade(self, budget_ms: float = 50.0) -> bool:
+        """Whether the glass-to-glass latency fits an interaction budget."""
+        return self.total_ms <= budget_ms
+
+
+class StreamingPipeline:
+    """One hosted stream's full path.
+
+    Parameters
+    ----------
+    encoder, network, client:
+        Component models; defaults build a 1080p h264 stream over a
+        100 Mbps link to a desktop client.
+    """
+
+    def __init__(
+        self,
+        *,
+        encoder: EncoderModel | None = None,
+        network: NetworkModel | None = None,
+        client: ClientModel | None = None,
+    ):
+        self.encoder = encoder if encoder is not None else EncoderModel()
+        self.network = network if network is not None else NetworkModel()
+        self.client = client if client is not None else ClientModel()
+
+    def stream_second(self, fps: float) -> tuple[LatencyBreakdown, float]:
+        """Stream one second at ``fps``.
+
+        Returns
+        -------
+        (LatencyBreakdown, cpu_overhead)
+            The per-frame latency decomposition and the server CPU
+            percentage the encode consumed this second.
+        """
+        enc = self.encoder.encode_second(fps)
+        net = self.network.transmit_second(enc.bitrate_mbps)
+        breakdown = LatencyBreakdown(
+            capture_ms=_CAPTURE_MS if fps > 0 else 0.0,
+            encode_ms=enc.per_frame_latency_ms,
+            network_ms=net.latency_ms if fps > 0 else 0.0,
+            decode_ms=self.client.decode_latency_ms(self.encoder.codec) if fps > 0 else 0.0,
+            display_ms=self.client.display_latency_ms if fps > 0 else 0.0,
+        )
+        return breakdown, enc.cpu_overhead

@@ -1,0 +1,23 @@
+"""Experiment workloads and the co-location driver.
+
+* :mod:`~repro.workloads.requests` — game request streams: the paper's
+  continuous-backlog protocol ("the selected game will continuously run
+  requests until the distributor passes") plus Poisson arrivals.
+* :mod:`~repro.workloads.experiment` — the 2-hour co-location
+  experiment driver that runs any strategy over a server and produces
+  the throughput/QoS numbers of Figs 9–13.
+* :mod:`~repro.workloads.metrics` — Eq-2 throughput and summary tables.
+"""
+
+from repro.workloads.requests import ContinuousBacklog, GameRequest, PoissonArrivals
+from repro.workloads.experiment import ColocationExperiment, ExperimentResult
+from repro.workloads.metrics import throughput_eq2
+
+__all__ = [
+    "GameRequest",
+    "ContinuousBacklog",
+    "PoissonArrivals",
+    "ColocationExperiment",
+    "ExperimentResult",
+    "throughput_eq2",
+]

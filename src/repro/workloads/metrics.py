@@ -1,0 +1,35 @@
+"""Throughput and summary metrics (paper Eq 2)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+__all__ = ["throughput_eq2"]
+
+
+def throughput_eq2(
+    completed_runs: Mapping[str, int], durations: Mapping[str, float]
+) -> float:
+    """Eq 2: ``T = Σ_i N_i · S_i``.
+
+    Parameters
+    ----------
+    completed_runs:
+        ``N_i`` — completed runs per game over the experiment window.
+    durations:
+        ``S_i`` — the nominal duration of one run of each game, in
+        seconds (the fixed per-game value of the paper).
+
+    Returns
+    -------
+    float
+        Useful game-seconds delivered.
+    """
+    total = 0.0
+    for game, n in completed_runs.items():
+        if n < 0:
+            raise ValueError(f"negative run count for {game!r}")
+        if game not in durations:
+            raise KeyError(f"no duration for game {game!r}")
+        total += n * float(durations[game])
+    return total

@@ -1,0 +1,102 @@
+"""Shared fixtures.
+
+Building a :class:`~repro.core.pipeline.GameProfile` costs seconds (it
+generates a trace corpus, clusters it, and trains three model backends),
+so profiles are session-scoped and the games used in tests are the two
+cheapest catalog entries plus a purpose-built toy game.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GameProfile
+from repro.games.catalog import build_catalog
+from repro.games.category import GameCategory
+from repro.games.spec import ClusterSpec, GameSpec, ScriptSpec, StageKind, StageSpec
+from repro.platform_.resources import ResourceVector
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return build_catalog()
+
+
+def _toy_spec() -> GameSpec:
+    """A minimal 3-cluster game: loading, quiet play, heavy play.
+
+    Cheap to simulate (≈ 2 minutes per run) and fully deterministic in
+    structure, so scheduler tests can assert exact stage behaviour.
+    """
+    clusters = {
+        "load": ClusterSpec(
+            "load",
+            ResourceVector(cpu=50, gpu=4, gpu_mem=10, ram=10),
+            ResourceVector(cpu=1.5, gpu=0.8, gpu_mem=0.5, ram=0.5),
+            nominal_fps=60,
+        ),
+        "quiet": ClusterSpec(
+            "quiet",
+            ResourceVector(cpu=20, gpu=20, gpu_mem=15, ram=12),
+            ResourceVector(cpu=1.2, gpu=1.2, gpu_mem=0.5, ram=0.5),
+            nominal_fps=100,
+        ),
+        "heavy": ClusterSpec(
+            "heavy",
+            ResourceVector(cpu=40, gpu=55, gpu_mem=25, ram=15),
+            ResourceVector(cpu=1.5, gpu=1.5, gpu_mem=0.5, ram=0.5),
+            nominal_fps=80,
+        ),
+    }
+    stages = {
+        "boot": StageSpec("boot", StageKind.LOADING, ("load",), 8.0),
+        "quiet": StageSpec("quiet", StageKind.EXECUTION, ("quiet",), 60.0, duration_scale=0.3),
+        "mid": StageSpec("mid", StageKind.LOADING, ("load",), 7.0),
+        "heavy": StageSpec("heavy", StageKind.EXECUTION, ("heavy",), 50.0, duration_scale=0.3),
+        "exit": StageSpec("exit", StageKind.LOADING, ("load",), 6.0),
+    }
+    scripts = (
+        ScriptSpec("full", "quiet then heavy", ("boot", "quiet", "mid", "heavy", "exit")),
+    )
+    return GameSpec(
+        name="toygame",
+        category=GameCategory.WEB,
+        clusters=clusters,
+        stages=stages,
+        scripts=scripts,
+        frame_lock=None,
+        long_term=False,
+    )
+
+
+@pytest.fixture(scope="session")
+def toy_spec():
+    return _toy_spec()
+
+
+@pytest.fixture(scope="session")
+def toy_profile(toy_spec):
+    return GameProfile.build(
+        toy_spec, n_players=3, sessions_per_player=3, seed=5, backends=("dtc",)
+    )
+
+
+@pytest.fixture(scope="session")
+def contra_profile(catalog):
+    return GameProfile.build(
+        catalog["contra"], n_players=3, sessions_per_player=3, seed=5, backends=("dtc",)
+    )
+
+
+@pytest.fixture(scope="session")
+def genshin_profile(catalog):
+    return GameProfile.build(
+        catalog["genshin"], n_players=4, sessions_per_player=3, seed=5,
+        backends=("dtc", "gbdt"),
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_catalog_parses(self):
+        args = build_parser().parse_args(["catalog"])
+        assert args.command == "catalog"
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "contra"])
+        assert args.game == "contra"
+        assert args.players == 6 and args.sessions == 5
+
+    def test_colocate_multiple_games(self):
+        args = build_parser().parse_args(
+            ["colocate", "genshin", "contra", "--strategy", "vbp"]
+        )
+        assert args.games == ["genshin", "contra"]
+        assert args.strategy == "vbp"
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["colocate", "contra", "--strategy", "magic"])
+
+    def test_fleet_flags(self):
+        args = build_parser().parse_args(
+            ["fleet", "contra", "--nodes", "2", "--policy", "best-fit",
+             "--heterogeneous"]
+        )
+        assert args.nodes == 2 and args.policy == "best-fit"
+        assert args.heterogeneous
+
+
+class TestCommands:
+    def test_catalog_lists_games(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        for game in ("contra", "csgo", "dota2", "genshin", "devil_may_cry"):
+            assert game in out
+
+    def test_profile_and_save(self, capsys, tmp_path):
+        out_file = tmp_path / "contra.profile.json"
+        code = main([
+            "profile", "contra", "-o", str(out_file),
+            "--players", "3", "--sessions", "3", "--seed", "1",
+        ])
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["game"] == "contra"
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+
+    def test_profile_unknown_game(self):
+        with pytest.raises(SystemExit, match="unknown game"):
+            main(["profile", "tetris"])
+
+    def test_colocate_uses_saved_profile(self, capsys, tmp_path):
+        main([
+            "profile", "contra", "-o", str(tmp_path / "contra.profile.json"),
+            "--players", "3", "--sessions", "3", "--seed", "1",
+        ])
+        capsys.readouterr()
+        code = main([
+            "colocate", "contra", "--horizon", "400",
+            "--profiles-dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loaded profile" in out
+        assert "throughput" in out
+
+    def test_colocate_unknown_game(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown game"):
+            main(["colocate", "tetris", "--profiles-dir", str(tmp_path)])
+
+    def test_fleet_runs(self, capsys, tmp_path):
+        main([
+            "profile", "contra", "-o", str(tmp_path / "contra.profile.json"),
+            "--players", "3", "--sessions", "3", "--seed", "1",
+        ])
+        capsys.readouterr()
+        code = main([
+            "fleet", "contra", "--nodes", "2", "--horizon", "500",
+            "--rate", "3.0", "--profiles-dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet of 2 nodes" in out
+        assert "throughput" in out

@@ -1,0 +1,223 @@
+"""Tests for the fleet/cluster layer and §IV-D profile migration."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CoCGStrategy, VBPStrategy
+from repro.cluster import ClusterScheduler, FleetExperiment, FleetNode
+from repro.platform_.profile import (
+    BIG_SERVER_PLATFORM,
+    REFERENCE_PLATFORM,
+    WEAK_GPU_PLATFORM,
+)
+from repro.workloads.requests import GameRequest, PoissonArrivals
+from repro.games.player import PlayerModel
+
+
+def make_request(spec, rid=0, script=None):
+    player = PlayerModel(f"p{rid}", spec.category, seed=0)
+    return GameRequest(
+        spec, script or spec.scripts[0].name, player, arrival=0.0, request_id=rid
+    )
+
+
+class TestProfileRescaling:
+    def test_structure_is_invariant(self, toy_profile):
+        scaled = toy_profile.rescaled(WEAK_GPU_PLATFORM)
+        assert scaled.library.n_clusters == toy_profile.library.n_clusters
+        assert scaled.library.stage_types == toy_profile.library.stage_types
+        assert scaled.library.loading_clusters == toy_profile.library.loading_clusters
+
+    def test_magnitudes_scale(self, toy_profile):
+        scaled = toy_profile.rescaled(WEAK_GPU_PLATFORM)
+        ref_peak = toy_profile.library.max_peak()
+        new_peak = scaled.library.max_peak()
+        assert new_peak.gpu == pytest.approx(
+            min(ref_peak.gpu * WEAK_GPU_PLATFORM.gpu_factor, 100.0), rel=1e-6
+        )
+        assert new_peak.cpu == pytest.approx(ref_peak.cpu, rel=1e-6)
+
+    def test_durations_and_transitions_carry_over(self, toy_profile):
+        scaled = toy_profile.rescaled(BIG_SERVER_PLATFORM)
+        for t in toy_profile.library.execution_types:
+            assert (
+                scaled.library.stats(t).mean_duration_seconds()
+                == toy_profile.library.stats(t).mean_duration_seconds()
+            )
+            assert scaled.library.transition_counts(
+                t
+            ) == toy_profile.library.transition_counts(t)
+
+    def test_predictors_keep_accuracy_and_rebind_library(self, toy_profile):
+        scaled = toy_profile.rescaled(WEAK_GPU_PLATFORM)
+        for backend in toy_profile.predictors:
+            assert (
+                scaled.predictors[backend].accuracy_
+                == toy_profile.predictors[backend].accuracy_
+            )
+            assert scaled.predictors[backend].library is scaled.library
+
+    def test_judgment_works_on_scaled_centers(self, toy_profile):
+        scaled = toy_profile.rescaled(WEAK_GPU_PLATFORM)
+        lib = scaled.library
+        (lc,) = lib.loading_clusters
+        j = scaled.predictors["dtc"].judge(lib.centers[lc], None)
+        from repro.core.predictor import JudgmentKind
+
+        assert j.kind is JudgmentKind.LOADING
+
+
+class TestFleetNode:
+    def test_admit_and_run(self, toy_spec, toy_profile):
+        node = FleetNode("n0", CoCGStrategy(), {"toygame": toy_profile})
+        req = make_request(toy_spec, rid=1, script="full")
+        assert node.try_admit(req, time=0, seed=1)
+        assert node.n_running == 1
+        for t in range(60):
+            node.tick(t)
+            if (t + 1) % 5 == 0:
+                node.control(t + 1)
+        assert node.telemetry.session_ids
+
+    def test_completion_counted(self, toy_spec, toy_profile):
+        node = FleetNode("n0", CoCGStrategy(), {"toygame": toy_profile})
+        req = make_request(toy_spec, rid=2, script="full")
+        node.try_admit(req, time=0, seed=1)
+        t = 0
+        while node.n_running and t < 1000:
+            node.tick(t)
+            if (t + 1) % 5 == 0:
+                node.control(t + 1)
+            t += 1
+        assert node.completed.get("toygame", 0) == 1
+
+    def test_platform_rescales_profiles(self, toy_profile):
+        node = FleetNode(
+            "weak", CoCGStrategy(), {"toygame": toy_profile},
+            platform=WEAK_GPU_PLATFORM,
+        )
+        assert (
+            node.profiles["toygame"].library.max_peak().gpu
+            > toy_profile.library.max_peak().gpu
+        )
+
+    def test_sessions_generated_on_node_platform(self, toy_spec, toy_profile):
+        node = FleetNode(
+            "weak", CoCGStrategy(), {"toygame": toy_profile},
+            platform=WEAK_GPU_PLATFORM,
+        )
+        req = make_request(toy_spec, rid=3, script="full")
+        node.try_admit(req, time=0, seed=1)
+        (session,) = node.sessions.values()
+        assert session.platform is WEAK_GPU_PLATFORM
+
+
+class TestClusterScheduler:
+    def make_cluster(self, toy_profile, policy="first-fit", n=2):
+        nodes = [
+            FleetNode(f"n{i}", CoCGStrategy(), {"toygame": toy_profile})
+            for i in range(n)
+        ]
+        return ClusterScheduler(nodes, policy=policy)
+
+    def test_first_fit_fills_first_node(self, toy_spec, toy_profile):
+        cluster = self.make_cluster(toy_profile)
+        a = cluster.dispatch(make_request(toy_spec, 1, "full"), time=0, seed=1)
+        b = cluster.dispatch(make_request(toy_spec, 2, "full"), time=0, seed=2)
+        assert a.node_id == "n0" and b.node_id == "n0"
+
+    def test_round_robin_spreads(self, toy_spec, toy_profile):
+        cluster = self.make_cluster(toy_profile, policy="round-robin")
+        a = cluster.dispatch(make_request(toy_spec, 1, "full"), time=0, seed=1)
+        b = cluster.dispatch(make_request(toy_spec, 2, "full"), time=0, seed=2)
+        assert {a.node_id, b.node_id} == {"n0", "n1"}
+
+    def test_best_fit_consolidates(self, toy_spec, toy_profile):
+        cluster = self.make_cluster(toy_profile, policy="best-fit")
+        a = cluster.dispatch(make_request(toy_spec, 1, "full"), time=0, seed=1)
+        b = cluster.dispatch(make_request(toy_spec, 2, "full"), time=0, seed=2)
+        assert a.node_id == b.node_id
+
+    def test_deferral_when_everything_full(self, toy_spec, toy_profile):
+        cluster = self.make_cluster(toy_profile, n=1)
+        served = 0
+        for i in range(12):
+            if cluster.dispatch(make_request(toy_spec, i, "full"), time=0, seed=i):
+                served += 1
+        assert served < 12
+        assert cluster.deferred > 0
+
+    def test_duplicate_node_ids_rejected(self, toy_profile):
+        nodes = [
+            FleetNode("x", CoCGStrategy(), {"toygame": toy_profile}),
+            FleetNode("x", CoCGStrategy(), {"toygame": toy_profile}),
+        ]
+        with pytest.raises(ValueError):
+            ClusterScheduler(nodes)
+
+    def test_unknown_policy(self, toy_profile):
+        node = FleetNode("n0", CoCGStrategy(), {"toygame": toy_profile})
+        with pytest.raises(ValueError):
+            ClusterScheduler([node], policy="magic")
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterScheduler([])
+
+
+class TestFleetExperiment:
+    def test_runs_and_aggregates(self, toy_spec, toy_profile):
+        nodes = [
+            FleetNode(f"n{i}", CoCGStrategy(), {"toygame": toy_profile}, seed=i)
+            for i in range(2)
+        ]
+        cluster = ClusterScheduler(nodes, policy="round-robin")
+        exp = FleetExperiment(
+            cluster, [toy_spec], horizon=900, rate_per_minute=2.0, seed=3
+        )
+        result = exp.run()
+        assert result.completed_runs.get("toygame", 0) >= 3
+        assert result.throughput > 0
+        assert 0 <= result.fraction_of_best <= 1
+        assert result.mean_wait_seconds >= 0
+        assert set(result.per_node_mean_gpu) == {"n0", "n1"}
+
+    def test_deterministic(self, toy_spec, toy_profile):
+        def run_once():
+            nodes = [
+                FleetNode(
+                    "n0", CoCGStrategy(), {"toygame": toy_profile}, seed=0
+                )
+            ]
+            cluster = ClusterScheduler(nodes)
+            return FleetExperiment(
+                cluster, [toy_spec], horizon=600, rate_per_minute=2.0, seed=9
+            ).run()
+
+        a, b = run_once(), run_once()
+        assert a.completed_runs == b.completed_runs
+        assert a.throughput == b.throughput
+
+    def test_heterogeneous_fleet(self, toy_spec, toy_profile):
+        nodes = [
+            FleetNode("ref", CoCGStrategy(), {"toygame": toy_profile}),
+            FleetNode(
+                "weak", CoCGStrategy(), {"toygame": toy_profile},
+                platform=WEAK_GPU_PLATFORM,
+            ),
+            FleetNode(
+                "big", VBPStrategy(), {"toygame": toy_profile},
+                platform=BIG_SERVER_PLATFORM,
+            ),
+        ]
+        cluster = ClusterScheduler(nodes, policy="round-robin")
+        result = FleetExperiment(
+            cluster, [toy_spec], horizon=900, rate_per_minute=3.0, seed=4
+        ).run()
+        assert sum(result.completed_runs.values()) >= 3
+
+    def test_invalid_params(self, toy_spec, toy_profile):
+        node = FleetNode("n0", CoCGStrategy(), {"toygame": toy_profile})
+        cluster = ClusterScheduler([node])
+        with pytest.raises(ValueError):
+            FleetExperiment(cluster, [toy_spec], horizon=0)

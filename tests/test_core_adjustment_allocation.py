@@ -1,0 +1,157 @@
+"""Tests for dynamic adjustment (Eq 1, model replacement) and the
+allocation planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.adjustment import (
+    DynamicAdjuster,
+    backend_rotation,
+    redundancy_allocation,
+)
+from repro.core.allocation import AllocationPlanner
+from repro.games.category import GameCategory
+from repro.platform_.resources import ResourceVector
+from repro.streaming.encoder import EncoderModel
+
+
+class TestRedundancyEq1:
+    def test_formula(self):
+        """Eq 1: S = (1 − P) × M."""
+        M = ResourceVector(cpu=80, gpu=60)
+        S = redundancy_allocation(0.9, M)
+        assert S.cpu == pytest.approx(8.0)
+        assert S.gpu == pytest.approx(6.0)
+
+    def test_perfect_accuracy_zero_margin(self):
+        S = redundancy_allocation(1.0, ResourceVector.full(100))
+        assert S == ResourceVector.zeros()
+
+    def test_worse_model_bigger_margin(self):
+        M = ResourceVector(gpu=50)
+        assert redundancy_allocation(0.5, M).gpu > redundancy_allocation(0.9, M).gpu
+
+    def test_accuracy_bounds(self):
+        with pytest.raises(ValueError):
+            redundancy_allocation(1.5, ResourceVector.zeros())
+
+
+class TestBackendRotation:
+    def test_console_prefers_dtc(self):
+        assert backend_rotation(GameCategory.CONSOLE)[0] == "dtc"
+
+    def test_web_prefers_rf(self):
+        assert backend_rotation(GameCategory.WEB)[0] == "rf"
+
+    def test_user_heavy_prefer_gbdt(self):
+        assert backend_rotation(GameCategory.MOBILE)[0] == "gbdt"
+        assert backend_rotation(GameCategory.MMO)[0] == "gbdt"
+
+    def test_rotation_covers_all_backends(self):
+        for cat in GameCategory:
+            assert sorted(backend_rotation(cat)) == ["dtc", "gbdt", "rf"]
+
+
+class TestDynamicAdjuster:
+    def test_replacement_after_consecutive_errors(self):
+        adj = DynamicAdjuster(GameCategory.CONSOLE, replace_after=3)
+        first = adj.current_backend
+        assert not adj.record_error()
+        assert not adj.record_error()
+        assert adj.record_error()  # third consecutive → replace
+        assert adj.current_backend != first
+        assert adj.replacements == 1
+
+    def test_success_resets_streak(self):
+        adj = DynamicAdjuster(GameCategory.CONSOLE, replace_after=2)
+        adj.record_error()
+        adj.record_success()
+        assert not adj.record_error()  # streak restarted
+
+    def test_observed_accuracy(self):
+        adj = DynamicAdjuster(GameCategory.WEB)
+        adj.record_success()
+        adj.record_success()
+        adj.record_error()
+        assert adj.observed_accuracy == pytest.approx(2 / 3)
+
+    def test_accuracy_defaults_to_one(self):
+        assert DynamicAdjuster(GameCategory.WEB).observed_accuracy == 1.0
+
+    def test_transients_counted_separately(self):
+        adj = DynamicAdjuster(GameCategory.WEB)
+        adj.record_transient()
+        assert adj.transients_reverted == 1
+        assert adj.total_errors == 0
+
+    def test_rotation_wraps(self):
+        adj = DynamicAdjuster(GameCategory.WEB, replace_after=1)
+        seen = {adj.current_backend}
+        for _ in range(5):
+            adj.record_error()
+            seen.add(adj.current_backend)
+        assert seen == {"dtc", "rf", "gbdt"}
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            DynamicAdjuster(GameCategory.WEB, replace_after=0)
+
+
+class TestAllocationPlanner:
+    def test_execution_plan_covers_stage_peak(self, toy_profile):
+        lib = toy_profile.library
+        planner = AllocationPlanner(lib, accuracy=0.9)
+        for t in lib.execution_types:
+            plan = planner.for_execution(t, redundancy=False)
+            assert plan.dominates(
+                ResourceVector.from_array(lib.stats(t).peak)
+            )
+
+    def test_redundancy_adds_eq1_margin(self, toy_profile):
+        lib = toy_profile.library
+        planner = AllocationPlanner(lib, accuracy=0.8)
+        t = lib.execution_types[0]
+        bare = planner.for_execution(t, redundancy=False)
+        fat = planner.for_execution(t, redundancy=True)
+        expected = redundancy_allocation(0.8, lib.max_peak())
+        np.testing.assert_allclose(
+            (fat - bare).array, expected.array, atol=1e-9
+        )
+
+    def test_loading_plan_is_cpu_heavy(self, toy_profile):
+        planner = AllocationPlanner(toy_profile.library)
+        plan = planner.for_loading()
+        assert plan.cpu > 3 * plan.gpu
+
+    def test_throttled_loading_cuts_cpu_only(self, toy_profile):
+        planner = AllocationPlanner(toy_profile.library)
+        full = planner.for_loading()
+        throttled = planner.throttled_loading(0.25)
+        assert throttled.cpu == pytest.approx(full.cpu * 0.25)
+        assert throttled.gpu == full.gpu
+
+    def test_peak_plan_dominates_all_stage_plans(self, toy_profile):
+        lib = toy_profile.library
+        planner = AllocationPlanner(lib, accuracy=1.0)
+        peak = planner.peak_plan()
+        for t in lib.execution_types:
+            assert peak.dominates(planner.for_execution(t, redundancy=False))
+
+    def test_encoder_overhead_charged_to_cpu(self, toy_profile):
+        lib = toy_profile.library
+        bare = AllocationPlanner(lib).for_loading()
+        with_enc = AllocationPlanner(lib, encoder=EncoderModel()).for_loading()
+        assert with_enc.cpu > bare.cpu
+        assert with_enc.gpu == bare.gpu
+
+    def test_plans_clip_at_100(self, toy_profile):
+        planner = AllocationPlanner(toy_profile.library, accuracy=0.0)
+        plan = planner.for_execution(
+            toy_profile.library.execution_types[0], redundancy=True
+        )
+        assert plan.fits_within(ResourceVector.full(100.0))
+
+    def test_set_accuracy_validates(self, toy_profile):
+        planner = AllocationPlanner(toy_profile.library)
+        with pytest.raises(ValueError):
+            planner.set_accuracy(2.0)

@@ -1,0 +1,207 @@
+"""Tests for dataset policies (§IV-B1) and the stage predictor (§IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import StageDatasetBuilder
+from repro.core.predictor import (
+    BACKENDS,
+    JudgmentKind,
+    PredictionCostModel,
+    StagePredictor,
+    make_backend,
+)
+from repro.core.profiler import FrameGrainedProfiler, ProfilerConfig
+from repro.core.stages import StageTypeId
+from repro.games.category import GameCategory
+from repro.games.tracegen import generate_corpus
+
+
+@pytest.fixture(scope="module")
+def toy_segments(toy_spec):
+    bundles = generate_corpus(toy_spec, n_players=4, sessions_per_player=3, seed=6)
+    prof = FrameGrainedProfiler("toy", config=ProfilerConfig(n_clusters=3))
+    lib = prof.fit(bundles)
+    segs = [(b.player_id, prof.segment_with(lib, b.frames().values)) for b in bundles]
+    return lib, segs
+
+
+class TestDatasetBuilder:
+    def test_sequence_extraction(self, toy_segments):
+        lib, segs = toy_segments
+        builder = StageDatasetBuilder(lib)
+        for _, s in segs:
+            seq = builder.sequence_of(s)
+            assert len(seq) == 2  # quiet then heavy
+            assert seq[0] != seq[1]
+
+    def test_web_pools_everyone(self, toy_segments):
+        lib, segs = toy_segments
+        builder = StageDatasetBuilder(lib)
+        ds = builder.build(segs, GameCategory.WEB)
+        assert set(ds) == {"*"}
+        assert ds["*"].n_samples == len(segs)  # one transition per session
+        assert len(set(ds["*"].players)) == 4
+
+    def test_mobile_builds_per_player(self, toy_segments):
+        lib, segs = toy_segments
+        builder = StageDatasetBuilder(lib)
+        ds = builder.build(segs, GameCategory.MOBILE)
+        assert len(ds) == 4
+        for player, d in ds.items():
+            assert set(d.players) == {player}
+
+    def test_console_concatenates_campaign(self, toy_segments):
+        lib, segs = toy_segments
+        builder = StageDatasetBuilder(lib)
+        ds = builder.build(segs, GameCategory.CONSOLE)["*"]
+        # Concatenation creates cross-session samples: 4 players × (6-1).
+        assert ds.n_samples == 4 * 5
+
+    def test_mmo_adds_group_features(self, toy_segments):
+        lib, segs = toy_segments
+        builder = StageDatasetBuilder(lib)
+        web = builder.build(segs, GameCategory.WEB)["*"]
+        mmo = builder.build(segs, GameCategory.MMO)["*"]
+        assert mmo.X.shape[1] == web.X.shape[1] + builder.n_types
+
+    def test_encode_history_layout(self, toy_segments):
+        lib, _ = toy_segments
+        builder = StageDatasetBuilder(lib, history=2)
+        feats = builder.encode_history([0, 1], 2)
+        k = builder.n_types
+        # most recent stage (1) first block, previous (0) second block
+        assert feats[1] == 1.0
+        assert feats[k + 0] == 1.0
+        assert feats.shape == (builder.n_base_features,)
+
+    def test_encode_history_padding(self, toy_segments):
+        lib, _ = toy_segments
+        builder = StageDatasetBuilder(lib, history=3)
+        feats = builder.encode_history([], 0)
+        assert feats[: 3 * builder.n_types].sum() == 0
+
+    def test_group_hist_shape_checked(self, toy_segments):
+        lib, _ = toy_segments
+        builder = StageDatasetBuilder(lib)
+        with pytest.raises(ValueError):
+            builder.encode_history([0], 1, group_hist=np.zeros(99))
+
+    def test_invalid_params(self, toy_segments):
+        lib, _ = toy_segments
+        with pytest.raises(ValueError):
+            StageDatasetBuilder(lib, history=0)
+        with pytest.raises(ValueError):
+            StageDatasetBuilder(lib, group_size=1)
+
+
+class TestStagePredictor:
+    def test_train_and_predict_toy(self, toy_segments):
+        lib, segs = toy_segments
+        pred = StagePredictor(lib, GameCategory.WEB, backend="dtc", seed=0)
+        acc = pred.train(segs)
+        assert acc > 0.95  # deterministic quiet→heavy transition
+        builder = pred.builder
+        quiet, heavy = builder.types if builder.types[0] != builder.types[1] else ()
+        # After the first stage, the second is always the other type.
+        first = builder.types[0]
+        predicted, conf = pred.predict_next([first])
+        assert predicted in builder.types
+        assert 0 <= conf <= 1
+
+    def test_empty_history_prior(self, toy_segments):
+        lib, segs = toy_segments
+        pred = StagePredictor(lib, GameCategory.WEB, seed=0)
+        pred.train(segs)
+        t, conf = pred.predict_next([])
+        assert t in pred.builder.types
+        assert conf > 0
+
+    def test_unknown_history_types_skipped(self, toy_segments):
+        lib, segs = toy_segments
+        pred = StagePredictor(lib, GameCategory.WEB, seed=0)
+        pred.train(segs)
+        ghost = StageTypeId([7, 8])
+        t, _ = pred.predict_next([ghost])
+        assert t in pred.builder.types
+
+    def test_untrained_raises(self, toy_segments):
+        lib, _ = toy_segments
+        with pytest.raises(RuntimeError):
+            StagePredictor(lib, GameCategory.WEB).predict_next([])
+
+    def test_all_backends_train(self, toy_segments):
+        lib, segs = toy_segments
+        for backend in BACKENDS:
+            pred = StagePredictor(lib, GameCategory.WEB, backend=backend, seed=0)
+            assert pred.train(segs) > 0.9
+
+    def test_invalid_backend(self, toy_segments):
+        lib, _ = toy_segments
+        with pytest.raises(ValueError):
+            StagePredictor(lib, GameCategory.WEB, backend="svm")
+        with pytest.raises(ValueError):
+            make_backend("svm")
+
+    def test_mobile_falls_back_for_unknown_player(self, toy_segments):
+        lib, segs = toy_segments
+        pred = StagePredictor(lib, GameCategory.MOBILE, seed=0)
+        pred.train(segs)
+        t, _ = pred.predict_next([pred.builder.types[0]], player_id="stranger")
+        assert t in pred.builder.types
+
+
+class TestJudgment:
+    def test_same_stage(self, toy_profile):
+        lib = toy_profile.library
+        pred = toy_profile.predictors["dtc"]
+        quiet_type = min(lib.execution_types, key=lambda t: lib.stats(t).mean[1])
+        frame = lib.stats(quiet_type).mean
+        j = pred.judge(frame, quiet_type)
+        assert j.kind is JudgmentKind.SAME
+
+    def test_loading_detected(self, toy_profile):
+        lib = toy_profile.library
+        pred = toy_profile.predictors["dtc"]
+        (lc,) = lib.loading_clusters
+        j = pred.judge(lib.centers[lc], lib.execution_types[0])
+        assert j.kind is JudgmentKind.LOADING
+
+    def test_mismatch_rematches_known_type(self, toy_profile):
+        lib = toy_profile.library
+        pred = toy_profile.predictors["dtc"]
+        quiet, heavy = sorted(
+            lib.execution_types, key=lambda t: lib.stats(t).mean[1]
+        )
+        frame = lib.stats(heavy).mean
+        j = pred.judge(frame, quiet)
+        assert j.kind is JudgmentKind.MISMATCH
+        assert j.matched_type == heavy
+
+
+class TestPredictionCostModel:
+    def test_paper_range(self):
+        """Fig 12: prediction takes 3–13 s across the catalog's games."""
+        model = PredictionCostModel()
+        for n_types in (2, 3, 4, 5, 6):
+            for backend in BACKENDS:
+                t = model.predict_seconds(n_types, backend)
+                assert 3.0 <= t <= 13.0, (n_types, backend)
+
+    def test_monotone_in_types(self):
+        m = PredictionCostModel()
+        assert m.predict_seconds(6) > m.predict_seconds(2)
+
+    def test_backend_ordering(self):
+        m = PredictionCostModel()
+        assert (
+            m.predict_seconds(4, "dtc")
+            < m.predict_seconds(4, "rf")
+            < m.predict_seconds(4, "gbdt")
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            PredictionCostModel().predict_seconds(0)
+        with pytest.raises(ValueError):
+            PredictionCostModel().predict_seconds(3, "svm")

@@ -1,0 +1,140 @@
+"""Tests for the frame-grained profiler: clustering, loading detection,
+stage segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import FrameGrainedProfiler, ProfilerConfig
+from repro.core.stages import StageTypeId
+from repro.games.tracegen import generate_corpus, generate_trace
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        ProfilerConfig()
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            ProfilerConfig(n_clusters=0)
+        with pytest.raises(ValueError):
+            ProfilerConfig(frame_seconds=0)
+        with pytest.raises(ValueError):
+            ProfilerConfig(lookahead_frames=0)
+        with pytest.raises(ValueError):
+            ProfilerConfig(min_presence=1.5)
+        with pytest.raises(ValueError):
+            ProfilerConfig(k_values=(1, 2), n_clusters=None)
+
+
+class TestFitToyGame:
+    def test_recovers_k_automatically(self, toy_spec):
+        bundles = generate_corpus(toy_spec, n_players=3, sessions_per_player=3, seed=1)
+        prof = FrameGrainedProfiler("toy")
+        prof.fit(bundles)
+        assert prof.chosen_k_ == 3
+        assert prof.sse_curve_ is not None
+
+    def test_fixed_k_skips_sweep(self, toy_spec):
+        bundles = generate_corpus(toy_spec, n_players=2, sessions_per_player=2, seed=1)
+        prof = FrameGrainedProfiler("toy", config=ProfilerConfig(n_clusters=3))
+        prof.fit(bundles)
+        assert prof.chosen_k_ == 3
+        assert prof.sse_curve_ is None
+
+    def test_identifies_loading_cluster(self, toy_spec):
+        bundles = generate_corpus(toy_spec, n_players=3, sessions_per_player=3, seed=1)
+        lib = FrameGrainedProfiler("toy", config=ProfilerConfig(n_clusters=3)).fit(bundles)
+        assert len(lib.loading_clusters) == 1
+        (lc,) = lib.loading_clusters
+        center = lib.centers[lc]
+        assert center[1] < 0.3 * center[0]  # gpu ≪ cpu
+
+    def test_discovers_three_stage_types(self, toy_spec):
+        bundles = generate_corpus(toy_spec, n_players=3, sessions_per_player=3, seed=1)
+        lib = FrameGrainedProfiler("toy", config=ProfilerConfig(n_clusters=3)).fit(bundles)
+        assert len(lib.stage_types) == 3  # loading, quiet, heavy
+        assert len(lib.execution_types) == 2
+
+    def test_segment_alternation(self, toy_spec):
+        bundles = generate_corpus(toy_spec, n_players=2, sessions_per_player=2, seed=2)
+        prof = FrameGrainedProfiler("toy", config=ProfilerConfig(n_clusters=3))
+        prof.fit(bundles)
+        tb = generate_trace(toy_spec, "full", seed=9)
+        segs = prof.segment(tb.frames().values)
+        kinds = [s.is_loading for s in segs]
+        # loading and execution strictly alternate for the toy script
+        assert all(a != b for a, b in zip(kinds[:-1], kinds[1:]))
+        exec_types = [s.type_id for s in segs if not s.is_loading]
+        assert len(set(exec_types)) == 2
+
+    def test_segment_frame_ranges_partition(self, toy_spec):
+        bundles = generate_corpus(toy_spec, n_players=2, sessions_per_player=2, seed=2)
+        prof = FrameGrainedProfiler("toy", config=ProfilerConfig(n_clusters=3))
+        prof.fit(bundles)
+        frames = generate_trace(toy_spec, "full", seed=5).frames().values
+        segs = prof.segment(frames)
+        assert segs[0].start_frame == 0
+        assert segs[-1].end_frame == len(frames)
+        for a, b in zip(segs[:-1], segs[1:]):
+            assert a.end_frame == b.start_frame
+
+    def test_segment_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            FrameGrainedProfiler("toy").segment(np.zeros((3, 4)))
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FrameGrainedProfiler("toy").fit([])
+
+
+class TestMultiClusterStages:
+    def test_interleaved_clusters_form_one_stage(self, catalog):
+        """DOTA2's ranked match alternates lane/teamfight clusters inside
+        one stage; the profiler must merge them into a 2-cluster type."""
+        spec = catalog["dota2"]
+        bundles = generate_corpus(spec, n_players=4, sessions_per_player=3, seed=3)
+        prof = FrameGrainedProfiler("dota2", config=ProfilerConfig(n_clusters=5))
+        lib = prof.fit(bundles)
+        two_cluster_types = [t for t in lib.execution_types if len(t) == 2]
+        assert two_cluster_types, "expected the lane+fight match type"
+        match_type = max(
+            two_cluster_types, key=lambda t: lib.stats(t).total_frames
+        )
+        # the match is by far the longest stage
+        assert lib.stats(match_type).mean_duration_seconds() > 300
+
+    def test_paper_k_recovered_for_all_games(self, catalog):
+        """Fig 14: the automatic elbow recovers the published K on a
+        fresh profiling corpus for every game."""
+        expected = {"contra": 2, "csgo": 4, "genshin": 4, "dota2": 5,
+                    "devil_may_cry": 6}
+        for name, k in expected.items():
+            bundles = generate_corpus(
+                catalog[name], n_players=4, sessions_per_player=3, seed=7
+            )
+            prof = FrameGrainedProfiler(name)
+            prof.fit(bundles)
+            assert prof.chosen_k_ == k, name
+
+
+class TestSegmentationRobustness:
+    def test_boundary_artifacts_absorbed(self, toy_spec):
+        """Sub-minimum execution segments merge into neighbours."""
+        bundles = generate_corpus(toy_spec, n_players=2, sessions_per_player=3, seed=4)
+        prof = FrameGrainedProfiler("toy", config=ProfilerConfig(n_clusters=3))
+        prof.fit(bundles)
+        for b in bundles:
+            for s in prof.segment(b.frames().values):
+                if not s.is_loading:
+                    assert s.n_frames >= 2
+
+    def test_stats_exclude_nonmember_frames(self, toy_spec):
+        bundles = generate_corpus(toy_spec, n_players=2, sessions_per_player=2, seed=4)
+        prof = FrameGrainedProfiler("toy", config=ProfilerConfig(n_clusters=3))
+        lib = prof.fit(bundles)
+        # The quiet type's peak must stay near the quiet cluster, far from
+        # the heavy cluster, even though boundary frames may straddle.
+        quiet = min(
+            lib.execution_types, key=lambda t: lib.stats(t).mean[1]
+        )
+        assert lib.stats(quiet).peak[1] < 35

@@ -1,0 +1,82 @@
+"""Tests for CSV telemetry interchange and profiling real-style traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import FrameGrainedProfiler, ProfilerConfig
+from repro.games.tracegen import generate_trace
+from repro.platform_.resources import DIMENSIONS
+from repro.util.timeseries import ResourceSeries
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path, rng):
+        series = ResourceSeries(
+            rng.uniform(0, 100, size=(30, 4)), DIMENSIONS, period=1.0, start=5.0
+        )
+        path = tmp_path / "trace.csv"
+        series.to_csv(path)
+        clone = ResourceSeries.from_csv(path)
+        assert clone.columns == series.columns
+        assert clone.period == series.period
+        assert clone.start == series.start
+        np.testing.assert_allclose(clone.values, series.values, rtol=1e-5)
+
+    def test_non_second_period(self, tmp_path):
+        series = ResourceSeries(np.ones((4, 2)), ("a", "b"), period=5.0)
+        path = tmp_path / "t.csv"
+        series.to_csv(path)
+        assert ResourceSeries.from_csv(path).period == 5.0
+
+    def test_missing_time_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("cpu,gpu\n1,2\n")
+        with pytest.raises(ValueError, match="time"):
+            ResourceSeries.from_csv(path)
+
+    def test_nonuniform_sampling_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,cpu\n0,1\n1,1\n3,1\n")
+        with pytest.raises(ValueError, match="uniform"):
+            ResourceSeries.from_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("time,cpu\n")
+        with pytest.raises(ValueError):
+            ResourceSeries.from_csv(path)
+
+    def test_single_row(self, tmp_path):
+        path = tmp_path / "one.csv"
+        path.write_text("time,cpu,gpu\n0,10,20\n")
+        series = ResourceSeries.from_csv(path)
+        assert series.n_samples == 1
+        assert series.column("gpu")[0] == 20
+
+
+class TestProfilingFromCsv:
+    def test_profiler_accepts_csv_traces(self, toy_spec, tmp_path):
+        """The bring-your-own-telemetry path: export traces to CSV, read
+        them back, profile them — same library as the in-memory path."""
+        bundles = [
+            generate_trace(toy_spec, "full", seed=s) for s in range(4)
+        ]
+        paths = []
+        for i, b in enumerate(bundles):
+            p = tmp_path / f"trace{i}.csv"
+            b.series.to_csv(p)
+            paths.append(p)
+        reloaded = [ResourceSeries.from_csv(p) for p in paths]
+
+        direct = FrameGrainedProfiler(
+            "toy", config=ProfilerConfig(n_clusters=3)
+        ).fit([b.series for b in bundles])
+        via_csv = FrameGrainedProfiler(
+            "toy", config=ProfilerConfig(n_clusters=3)
+        ).fit(reloaded)
+        assert via_csv.stage_types == direct.stage_types
+        np.testing.assert_allclose(
+            np.sort(via_csv.centers, axis=0),
+            np.sort(direct.centers, axis=0),
+            atol=0.01,
+        )

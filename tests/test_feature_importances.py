@@ -1,0 +1,111 @@
+"""Tests for feature importances across mlkit models and the predictor
+diagnostics built on them."""
+
+import numpy as np
+import pytest
+
+from repro.mlkit.forest import RandomForestClassifier
+from repro.mlkit.gbdt import GradientBoostedClassifier
+from repro.mlkit.regression_tree import DecisionTreeRegressor
+from repro.mlkit.tree import DecisionTreeClassifier
+
+
+@pytest.fixture
+def single_feature_data(rng):
+    X = rng.normal(size=(300, 5))
+    y = (X[:, 2] > 0).astype(int)  # only feature 2 carries signal
+    return X, y
+
+
+class TestImportances:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            DecisionTreeClassifier(max_depth=4),
+            RandomForestClassifier(10, seed=0),
+            GradientBoostedClassifier(10, seed=0),
+        ],
+        ids=["dtc", "rf", "gbdt"],
+    )
+    def test_signal_feature_dominates(self, single_feature_data, model):
+        X, y = single_feature_data
+        model.fit(X, y)
+        fi = model.feature_importances_
+        assert fi.shape == (5,)
+        assert np.argmax(fi) == 2
+        assert fi[2] > 0.5
+
+    def test_normalised_to_one(self, single_feature_data):
+        X, y = single_feature_data
+        fi = DecisionTreeClassifier(max_depth=4).fit(X, y).feature_importances_
+        assert fi.sum() == pytest.approx(1.0)
+        assert np.all(fi >= 0)
+
+    def test_regressor_importances(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = 3 * X[:, 1] + rng.normal(scale=0.1, size=200)
+        fi = DecisionTreeRegressor(max_depth=4).fit(X, y).feature_importances_
+        assert np.argmax(fi) == 1
+
+    def test_stump_is_all_zero(self, rng):
+        X = rng.normal(size=(20, 3))
+        tree = DecisionTreeClassifier().fit(X, np.ones(20))
+        np.testing.assert_array_equal(tree.feature_importances_, np.zeros(3))
+
+    def test_requires_fit(self):
+        with pytest.raises(Exception):
+            DecisionTreeClassifier().feature_importances_
+
+    def test_split_signal_shared(self, rng):
+        """Two equally informative features both get credit in a forest."""
+        X = rng.normal(size=(400, 4))
+        y = ((X[:, 0] + X[:, 3]) > 0).astype(int)
+        fi = RandomForestClassifier(30, seed=0).fit(X, y).feature_importances_
+        assert fi[0] > 0.2 and fi[3] > 0.2
+        assert fi[1] < 0.15 and fi[2] < 0.15
+
+
+class TestPredictorFeatureReport:
+    def test_report_names_match_feature_space(self, toy_profile):
+        predictor = toy_profile.predictors["dtc"]
+        names = predictor.feature_names()
+        assert len(names) == predictor.builder.n_base_features
+        assert names[-1] == "position"
+
+    def test_toy_stump_reports_nothing(self, toy_profile):
+        """The toy game has one deterministic transition, so the model is
+        a single-class stump with zero importances — an empty report."""
+        assert toy_profile.predictors["dtc"].feature_report() == []
+
+    def test_report_highlights_history_features(self, genshin_profile):
+        """Genshin's next task depends on what has been played so far:
+        history/count features must dominate the report."""
+        predictor = genshin_profile.predictors["dtc"]
+        report = predictor.feature_report(top=5)
+        assert report, "expected non-empty report"
+        top_name, top_weight = report[0]
+        assert any(k in top_name for k in ("hist[", "count(", "position"))
+        assert top_weight > 0.15
+
+    def test_untrained_raises(self, toy_profile):
+        from repro.core.predictor import StagePredictor
+        from repro.games.category import GameCategory
+
+        fresh = StagePredictor(toy_profile.library, GameCategory.WEB)
+        with pytest.raises(RuntimeError):
+            fresh.feature_report()
+
+    def test_mmo_report_includes_group_features(self, catalog):
+        """DOTA2's predictor must expose (and typically weight) the
+        co-login group block."""
+        from repro.core.pipeline import GameProfile
+
+        profile = GameProfile.build(
+            catalog["dota2"], n_players=6, sessions_per_player=4, seed=3,
+            backends=("dtc",),
+        )
+        predictor = profile.predictors["dtc"]
+        names = predictor.feature_names()
+        assert any(n.startswith("group(") for n in names)
+        report = dict(predictor.feature_report(top=12))
+        assert any(n.startswith("group(") for n in report), report

@@ -1,0 +1,170 @@
+"""Tests for game specifications and the five-game catalog."""
+
+import numpy as np
+import pytest
+
+from repro.games.catalog import build_catalog
+from repro.games.category import GameCategory
+from repro.games.spec import ClusterSpec, GameSpec, ScriptSpec, StageKind, StageSpec
+from repro.platform_.resources import ResourceVector
+
+
+def rv(cpu=0, gpu=0, gpu_mem=0, ram=0):
+    return ResourceVector(cpu=cpu, gpu=gpu, gpu_mem=gpu_mem, ram=ram)
+
+
+def tiny_cluster(name, gpu=10.0):
+    return ClusterSpec(name, rv(cpu=10, gpu=gpu), rv(cpu=1, gpu=1), nominal_fps=60)
+
+
+class TestSpecValidation:
+    def test_loading_stage_single_cluster(self):
+        with pytest.raises(ValueError):
+            StageSpec("l", StageKind.LOADING, ("a", "b"), 5.0)
+
+    def test_stage_needs_clusters(self):
+        with pytest.raises(ValueError):
+            StageSpec("s", StageKind.EXECUTION, (), 5.0)
+
+    def test_script_group_too_small(self):
+        with pytest.raises(ValueError):
+            ScriptSpec("s", "d", ("a", "b"), permutable_groups=((0,),))
+
+    def test_script_group_out_of_range(self):
+        with pytest.raises(ValueError):
+            ScriptSpec("s", "d", ("a",), permutable_groups=((0, 5),))
+
+    def test_game_requires_loading_stage(self):
+        clusters = {"c": tiny_cluster("c")}
+        stages = {"e": StageSpec("e", StageKind.EXECUTION, ("c",), 10.0)}
+        with pytest.raises(ValueError, match="loading"):
+            GameSpec(
+                name="g", category=GameCategory.WEB, clusters=clusters,
+                stages=stages, scripts=(ScriptSpec("s", "d", ("e",)),),
+            )
+
+    def test_game_rejects_unknown_cluster_reference(self):
+        clusters = {"c": tiny_cluster("c")}
+        stages = {
+            "l": StageSpec("l", StageKind.LOADING, ("nope",), 5.0),
+        }
+        with pytest.raises(ValueError, match="unknown cluster"):
+            GameSpec(
+                name="g", category=GameCategory.WEB, clusters=clusters,
+                stages=stages, scripts=(ScriptSpec("s", "d", ("l",)),),
+            )
+
+    def test_script_rejects_unknown_stage(self):
+        clusters = {"c": tiny_cluster("c")}
+        stages = {"l": StageSpec("l", StageKind.LOADING, ("c",), 5.0)}
+        with pytest.raises(ValueError, match="unknown stage"):
+            GameSpec(
+                name="g", category=GameCategory.WEB, clusters=clusters,
+                stages=stages, scripts=(ScriptSpec("s", "d", ("ghost",)),),
+            )
+
+    def test_permutable_slot_must_be_execution(self, catalog):
+        spec = catalog["genshin"]
+        with pytest.raises(ValueError, match="not an execution stage"):
+            GameSpec(
+                name="bad", category=spec.category, clusters=spec.clusters,
+                stages=spec.stages,
+                scripts=(ScriptSpec(
+                    "s", "d", ("boot", "menu"), permutable_groups=((0, 1),)
+                ),),
+            )
+
+    def test_cluster_mean_must_fit_100(self):
+        with pytest.raises(ValueError):
+            ClusterSpec("c", rv(cpu=101), rv(), nominal_fps=60)
+
+
+class TestCatalogStructure:
+    EXPECTED_K = {
+        "contra": 2, "csgo": 4, "genshin": 4, "dota2": 5, "devil_may_cry": 6
+    }
+    # Table I: stage types per script.
+    EXPECTED_TYPES = {
+        ("dota2", "match-9-bots"): 3,
+        ("dota2", "arcade-tower-defense"): 3,
+        ("csgo", "match-9-bots"): 4,
+        ("csgo", "training-map"): 3,
+        ("devil_may_cry", "level-1"): 2,
+        ("devil_may_cry", "level-2"): 4,
+        ("devil_may_cry", "level-3"): 6,
+        ("genshin", "run-battle-fly"): 5,
+        ("genshin", "fly-battle-run"): 5,
+        ("genshin", "battle-run-fly"): 5,
+        ("contra", "level-1"): 2,
+        ("contra", "levels-1-2"): 2,
+        ("contra", "levels-1-3"): 2,
+    }
+
+    def test_five_games(self, catalog):
+        assert set(catalog) == {
+            "dota2", "csgo", "genshin", "devil_may_cry", "contra"
+        }
+
+    def test_cluster_counts_match_fig14(self, catalog):
+        for name, k in self.EXPECTED_K.items():
+            assert len(catalog[name].clusters) == k, name
+
+    def test_stage_type_counts_match_table1(self, catalog):
+        for (game, script), n in self.EXPECTED_TYPES.items():
+            assert catalog[game].stage_type_count(script) == n, (game, script)
+
+    def test_categories_match_paper(self, catalog):
+        assert catalog["dota2"].category is GameCategory.MMO
+        assert catalog["csgo"].category is GameCategory.MMO
+        assert catalog["genshin"].category is GameCategory.MOBILE
+        assert catalog["devil_may_cry"].category is GameCategory.CONSOLE
+        assert catalog["contra"].category is GameCategory.WEB
+
+    def test_frame_locks(self, catalog):
+        assert catalog["genshin"].frame_lock == 60
+        assert catalog["devil_may_cry"].frame_lock == 60
+        assert catalog["dota2"].frame_lock is None
+        assert catalog["csgo"].frame_lock is None
+
+    def test_length_classes(self, catalog):
+        assert catalog["dota2"].long_term and catalog["csgo"].long_term
+        assert not catalog["genshin"].long_term and not catalog["contra"].long_term
+
+    def test_loading_clusters_are_cpu_heavy_gpu_light(self, catalog):
+        for spec in catalog.values():
+            for cname in spec.loading_cluster_names():
+                c = spec.clusters[cname]
+                assert c.mean.gpu < 0.3 * c.mean.cpu, (spec.name, cname)
+
+    def test_fig11_regimes(self, catalog):
+        """The co-location regimes of Fig 11 hold at the peak level."""
+        peak = {n: s.peak_demand().gpu for n, s in catalog.items()}
+        cap = 95.0
+        # DOTA2 + Devil May Cry: static peak reservation cannot fit.
+        assert peak["dota2"] + peak["devil_may_cry"] > cap
+        # CSGO + Genshin: same.
+        assert peak["csgo"] + peak["genshin"] > cap
+        # Genshin + Contra: fits comfortably.
+        assert peak["genshin"] + peak["contra"] < cap
+
+    def test_loading_durations_within_paper_range(self, catalog):
+        """Loading work is within the paper's 5–30 s window (exit screens
+        may be slightly shorter)."""
+        for spec in catalog.values():
+            for stage in spec.stages.values():
+                if stage.kind is StageKind.LOADING:
+                    assert 3 <= stage.base_duration <= 30
+
+    def test_expected_duration_positive(self, catalog):
+        for spec in catalog.values():
+            assert spec.expected_duration() > 30
+
+    def test_script_lookup(self, catalog):
+        with pytest.raises(KeyError):
+            catalog["contra"].script("ghost")
+
+    def test_stage_peak_monotone_in_sigmas(self, catalog):
+        spec = catalog["genshin"]
+        lo = spec.stage_peak_demand("battle", sigmas=1.0)
+        hi = spec.stage_peak_demand("battle", sigmas=3.0)
+        assert hi.dominates(lo)

@@ -1,0 +1,107 @@
+"""Tests for trace/corpus generation."""
+
+import numpy as np
+import pytest
+
+from repro.games.category import GameCategory
+from repro.games.tracegen import generate_corpus, generate_trace
+
+
+class TestGenerateTrace:
+    def test_trace_matches_truth_length(self, toy_spec):
+        tb = generate_trace(toy_spec, "full", seed=0)
+        assert len(tb.series) == len(tb.truth)
+        assert tb.game == "toygame" and tb.script == "full"
+
+    def test_loading_mask_marks_loading_stages(self, toy_spec):
+        tb = generate_trace(toy_spec, "full", seed=0)
+        names = np.array(tb.truth.stage_names)
+        mask = tb.truth.loading_mask
+        assert set(names[mask]) <= {"boot", "mid", "exit"}
+        assert set(names[~mask]) <= {"quiet", "heavy"}
+
+    def test_boundaries_are_contiguous(self, toy_spec):
+        tb = generate_trace(toy_spec, "full", seed=1)
+        bounds = tb.truth.stage_boundaries()
+        assert bounds[0][1] == 0
+        for (_, _, e1), (_, s2, _) in zip(bounds[:-1], bounds[1:]):
+            assert e1 == s2
+        assert bounds[-1][2] == len(tb.truth)
+
+    def test_frames_aggregate(self, toy_spec):
+        tb = generate_trace(toy_spec, "full", seed=2)
+        frames = tb.frames()
+        assert frames.period == 5.0
+        assert frames.n_samples == len(tb.series) // 5
+
+    def test_frame_truth_majority(self, toy_spec):
+        tb = generate_trace(toy_spec, "full", seed=3)
+        types = tb.frame_truth_stage_types()
+        assert len(types) == len(tb.frames())
+        assert all(isinstance(t, frozenset) for t in types)
+
+    def test_deterministic(self, toy_spec):
+        a = generate_trace(toy_spec, "full", seed=7)
+        b = generate_trace(toy_spec, "full", seed=7)
+        np.testing.assert_array_equal(a.series.values, b.series.values)
+
+    def test_max_seconds_truncates(self, toy_spec):
+        tb = generate_trace(toy_spec, "full", seed=0, max_seconds=20)
+        assert len(tb.series) == 20
+
+
+class TestGenerateCorpus:
+    def test_corpus_size(self, toy_spec):
+        bundles = generate_corpus(toy_spec, n_players=3, sessions_per_player=2, seed=0)
+        assert len(bundles) == 6
+
+    def test_players_are_stable_across_rounds(self, toy_spec):
+        bundles = generate_corpus(toy_spec, n_players=2, sessions_per_player=3, seed=0)
+        players = {b.player_id for b in bundles}
+        assert len(players) == 2
+
+    def test_round_major_ordering(self, toy_spec):
+        bundles = generate_corpus(toy_spec, n_players=3, sessions_per_player=2, seed=0)
+        first_round = [b.player_id for b in bundles[:3]]
+        assert len(set(first_round)) == 3  # all players once per round
+
+    def test_console_campaign_order(self, catalog):
+        spec = catalog["devil_may_cry"]
+        bundles = generate_corpus(spec, n_players=1, sessions_per_player=3, seed=0)
+        assert [b.script for b in bundles] == ["level-1", "level-2", "level-3"]
+
+    def test_mobile_players_have_favorites(self, catalog):
+        spec = catalog["genshin"]
+        bundles = generate_corpus(spec, n_players=2, sessions_per_player=6, seed=0)
+        for pid in {b.player_id for b in bundles}:
+            scripts = [b.script for b in bundles if b.player_id == pid]
+            top = max(set(scripts), key=scripts.count)
+            assert scripts.count(top) >= 4  # favoritism visible
+
+    def test_mmo_groups_share_scripts(self, catalog):
+        spec = catalog["dota2"]
+        bundles = generate_corpus(
+            spec, n_players=6, sessions_per_player=4, seed=0, group_size=3
+        )
+        agree = total = 0
+        for r in range(4):
+            round_bundles = bundles[r * 6 : (r + 1) * 6]
+            for g in (round_bundles[:3], round_bundles[3:]):
+                total += 1
+                if len({b.script for b in g}) == 1:
+                    agree += 1
+        assert agree / total > 0.5
+
+    def test_scripts_filter(self, toy_spec):
+        bundles = generate_corpus(
+            toy_spec, n_players=1, sessions_per_player=2, seed=0, scripts=["full"]
+        )
+        assert all(b.script == "full" for b in bundles)
+
+    def test_unknown_script_rejected(self, toy_spec):
+        with pytest.raises(KeyError):
+            generate_corpus(toy_spec, scripts=["ghost"])
+
+    def test_invalid_sizes(self, toy_spec):
+        with pytest.raises(ValueError):
+            generate_corpus(toy_spec, n_players=0)

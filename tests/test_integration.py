@@ -1,0 +1,110 @@
+"""End-to-end integration tests: the full paper pipeline on real catalog
+games, plus cross-strategy invariants."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CoCGStrategy, GAugurStrategy, VBPStrategy
+from repro.core.pipeline import GameProfile
+from repro.core.scheduler import CoCGConfig
+from repro.workloads.experiment import ColocationExperiment
+
+
+@pytest.fixture(scope="module")
+def small_profiles(catalog):
+    """Genshin + Contra profiles on a small corpus (fast but realistic)."""
+    return {
+        name: GameProfile.build(
+            catalog[name], n_players=4, sessions_per_player=3, seed=3
+        )
+        for name in ("genshin", "contra")
+    }
+
+
+class TestEasyPairAllStrategies:
+    """Genshin + Contra is the pair every strategy can co-locate
+    (paper: 'all three schemes have good performance')."""
+
+    @pytest.mark.parametrize(
+        "strategy_cls", [CoCGStrategy, GAugurStrategy, VBPStrategy]
+    )
+    def test_colocates_and_holds_qos(self, small_profiles, strategy_cls):
+        result = ColocationExperiment(
+            small_profiles, strategy_cls(), horizon=1800, seed=11
+        ).run()
+        assert result.completed_runs["contra"] >= 5
+        assert result.completed_runs["genshin"] >= 3
+        assert result.colocated_seconds > 600
+        assert result.over_cap_seconds == 0
+        assert result.fraction_of_best["genshin"] > 0.75
+
+    def test_cocg_within_noise_of_static_schemes(self, small_profiles):
+        results = {}
+        for strat in (CoCGStrategy(), VBPStrategy()):
+            results[strat.name] = ColocationExperiment(
+                small_profiles, strat, horizon=1800, seed=11
+            ).run().throughput
+        assert results["cocg"] > 0.8 * results["vbp"]
+
+
+class TestCoCGBehaviour:
+    def test_stage_aware_allocation_saves_resources(self, small_profiles):
+        """CoCG's mean granted ceiling must sit well below a constant
+        max reservation (the Fig-10 effect)."""
+        result = ColocationExperiment(
+            {"genshin": small_profiles["genshin"]},
+            CoCGStrategy(),
+            horizon=1200,
+            seed=5,
+        ).run()
+        telemetry = result.telemetry
+        sid = telemetry.session_ids[0]
+        alloc = telemetry.allocation_series(sid)
+        static_peak = small_profiles["genshin"].library.max_peak().array
+        mean_alloc = alloc.values.mean(axis=0)
+        assert mean_alloc[1] < 0.9 * static_peak[1]
+
+    def test_demand_mostly_covered(self, small_profiles):
+        result = ColocationExperiment(
+            {"genshin": small_profiles["genshin"]},
+            CoCGStrategy(),
+            horizon=1200,
+            seed=5,
+        ).run()
+        telemetry = result.telemetry
+        covered_total = weight = 0
+        for sid in telemetry.session_ids:
+            demand = telemetry.true_demand_series(sid).values
+            alloc = telemetry.allocation_series(sid).values
+            ok = np.all(alloc + 1e-6 >= demand, axis=1)
+            covered_total += ok.sum()
+            weight += len(ok)
+        assert covered_total / weight > 0.7
+
+    def test_redundancy_ablation_runs(self, small_profiles):
+        config = CoCGConfig(use_redundancy=False)
+        result = ColocationExperiment(
+            small_profiles, CoCGStrategy(config=config), horizon=900, seed=6
+        ).run()
+        assert result.throughput > 0
+
+    def test_detect_interval_ablation(self, small_profiles):
+        config = CoCGConfig(detect_interval=10)
+        result = ColocationExperiment(
+            small_profiles, CoCGStrategy(config=config), horizon=900, seed=6
+        ).run()
+        assert result.throughput > 0
+
+
+class TestAllocatorInvariantUnderAllStrategies:
+    @pytest.mark.parametrize(
+        "strategy_cls", [CoCGStrategy, GAugurStrategy, VBPStrategy]
+    )
+    def test_allocation_events_never_violate_cap(self, small_profiles, strategy_cls):
+        exp = ColocationExperiment(
+            small_profiles, strategy_cls(), horizon=900, seed=13
+        )
+        exp.run()
+        # Replay the audit trail: at no point may the recorded ceilings
+        # of concurrently-placed sessions exceed the cap.
+        assert exp.allocator.server.headroom_fraction() >= 0.05 - 1e-9

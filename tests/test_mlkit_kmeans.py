@@ -1,0 +1,149 @@
+"""Tests for repro.mlkit.kmeans: clustering correctness and the elbow."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mlkit.kmeans import KMeans, elbow_k, sse_curve
+from repro.mlkit.metrics import sse
+
+
+def blobs(rng, centers, n_per=60, std=0.4):
+    parts = [rng.normal(c, std, size=(n_per, len(c))) for c in centers]
+    return np.concatenate(parts)
+
+
+class TestKMeansFit:
+    def test_recovers_separated_blobs(self, rng):
+        X = blobs(rng, [[0, 0], [10, 0], [0, 10]])
+        km = KMeans(3, seed=0).fit(X)
+        expected = np.array([[0, 0], [10, 0], [0, 10]], dtype=float)
+        # Each true center must have exactly one fitted center nearby.
+        dists = np.linalg.norm(
+            expected[:, None, :] - km.cluster_centers_[None], axis=2
+        )
+        matches = dists.argmin(axis=1)
+        assert sorted(matches.tolist()) == [0, 1, 2]
+        assert np.all(dists.min(axis=1) < 0.5)
+
+    def test_inertia_equals_sse_of_labels(self, rng):
+        X = blobs(rng, [[0, 0], [5, 5]])
+        km = KMeans(2, seed=0).fit(X)
+        assert km.inertia_ == pytest.approx(
+            sse(X, km.cluster_centers_, km.labels_), rel=1e-9
+        )
+
+    def test_deterministic_under_seed(self, rng):
+        X = blobs(rng, [[0, 0], [5, 5]])
+        a = KMeans(2, seed=9).fit(X)
+        b = KMeans(2, seed=9).fit(X)
+        np.testing.assert_array_equal(a.labels_, b.labels_)
+
+    def test_k1_center_is_mean(self, rng):
+        X = rng.normal(size=(50, 3))
+        km = KMeans(1, seed=0).fit(X)
+        np.testing.assert_allclose(km.cluster_centers_[0], X.mean(axis=0), atol=1e-9)
+
+    def test_k_exceeds_samples(self):
+        with pytest.raises(ValueError):
+            KMeans(5).fit(np.zeros((3, 2)))
+
+    def test_duplicate_points_keep_k_clusters(self):
+        X = np.zeros((10, 2))
+        X[5:] = 1.0
+        km = KMeans(2, seed=0).fit(X)
+        assert len(np.unique(km.labels_)) == 2
+
+    def test_rejects_nan(self):
+        X = np.zeros((4, 2))
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            KMeans(2).fit(X)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+        with pytest.raises(ValueError):
+            KMeans(2, n_init=0)
+        with pytest.raises(ValueError):
+            KMeans(2, tol=0)
+
+
+class TestKMeansPredict:
+    def test_predict_matches_training_labels(self, rng):
+        X = blobs(rng, [[0, 0], [8, 8]])
+        km = KMeans(2, seed=0).fit(X)
+        np.testing.assert_array_equal(km.predict(X), km.labels_)
+
+    def test_predict_requires_fit(self):
+        with pytest.raises(Exception):
+            KMeans(2).predict(np.zeros((2, 2)))
+
+    def test_predict_feature_mismatch(self, rng):
+        km = KMeans(2, seed=0).fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError):
+            km.predict(rng.normal(size=(4, 2)))
+
+    def test_transform_shape_and_nonneg(self, rng):
+        X = blobs(rng, [[0, 0], [8, 8]])
+        km = KMeans(2, seed=0).fit(X)
+        d = km.transform(X)
+        assert d.shape == (len(X), 2)
+        assert np.all(d >= 0)
+
+    def test_score_is_negative_sse(self, rng):
+        X = blobs(rng, [[0, 0], [8, 8]])
+        km = KMeans(2, seed=0).fit(X)
+        assert km.score(X) == pytest.approx(-km.inertia_, rel=1e-6)
+
+
+class TestSseCurve:
+    def test_monotone_nonincreasing(self, rng):
+        X = blobs(rng, [[0, 0], [6, 0], [0, 6]])
+        curve = sse_curve(X, range(1, 8), seed=0)
+        assert np.all(np.diff(curve) <= 1e-6)
+
+    def test_empty_k_values(self):
+        with pytest.raises(ValueError):
+            sse_curve(np.zeros((5, 2)), [])
+
+
+class TestElbow:
+    def test_recovers_true_k_on_blobs(self, rng):
+        X = blobs(rng, [[0, 0], [12, 0], [0, 12], [12, 12]], std=0.5)
+        ks = list(range(1, 10))
+        assert elbow_k(ks, sse_curve(X, ks, seed=0)) == 4
+
+    def test_flat_curve_returns_min_k(self):
+        assert elbow_k([1, 2, 3], [5.0, 5.0, 5.0]) == 1
+
+    def test_methods_exist(self):
+        ks = [1, 2, 3, 4, 5]
+        s = [100.0, 20.0, 18.0, 17.0, 16.5]
+        assert elbow_k(ks, s, method="drop") == 2
+        assert elbow_k(ks, s, method="chord") == 2
+        assert elbow_k(ks, s, method="flatten") in (2, 3, 4, 5)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            elbow_k([1, 2, 3], [3.0, 2.0, 1.0], method="magic")
+
+    def test_requires_increasing_k(self):
+        with pytest.raises(ValueError):
+            elbow_k([1, 3, 2], [3.0, 2.0, 1.0])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            elbow_k([1, 2], [2.0, 1.0])
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_kmeans_labels_are_nearest_centers(seed):
+    """Property: every point's label is its nearest fitted center."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-5, 5, size=(40, 2))
+    km = KMeans(3, seed=0, n_init=2).fit(X)
+    d = ((X[:, None, :] - km.cluster_centers_[None]) ** 2).sum(-1)
+    np.testing.assert_array_equal(km.labels_, d.argmin(axis=1))

@@ -1,0 +1,156 @@
+"""Tests for the CART classifier and regressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mlkit.base import NotFittedError
+from repro.mlkit.regression_tree import DecisionTreeRegressor
+from repro.mlkit.tree import DecisionTreeClassifier
+
+
+def xor_data(rng, n=400, noise=0.0):
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    if noise:
+        flip = rng.random(n) < noise
+        y = np.where(flip, 1 - y, y)
+    return X, y
+
+
+class TestClassifierBasics:
+    def test_fits_xor_perfectly(self, rng):
+        # XOR has zero first-split gain, so greedy CART needs slack depth.
+        X, y = xor_data(rng)
+        tree = DecisionTreeClassifier(max_depth=8).fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    def test_generalises_on_xor(self, rng):
+        X, y = xor_data(rng)
+        tree = DecisionTreeClassifier(max_depth=8).fit(X[:300], y[:300])
+        assert tree.score(X[300:], y[300:]) > 0.9
+
+    def test_depth_limit_respected(self, rng):
+        X, y = xor_data(rng)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth <= 2
+
+    def test_min_samples_leaf(self, rng):
+        X, y = xor_data(rng, n=64)
+        tree = DecisionTreeClassifier(min_samples_leaf=16).fit(X, y)
+        # No leaf can contain fewer than 16 samples → at most 4 leaves.
+        assert tree.n_leaves <= 4
+
+    def test_single_class_gives_stump(self):
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        tree = DecisionTreeClassifier().fit(X, np.ones(20))
+        assert tree.depth == 0
+        assert np.all(tree.predict(X) == 1)
+
+    def test_predict_proba_rows_sum_to_one(self, rng):
+        X, y = xor_data(rng, noise=0.1)
+        tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        p = tree.predict_proba(X)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+        assert np.all(p >= 0)
+
+    def test_string_labels_roundtrip(self, rng):
+        X = rng.normal(size=(40, 2))
+        y = np.where(X[:, 0] > 0, "hot", "cold")
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert set(tree.predict(X)) <= {"hot", "cold"}
+        assert tree.score(X, y) == 1.0
+
+    def test_entropy_criterion(self, rng):
+        X, y = xor_data(rng)
+        tree = DecisionTreeClassifier(max_depth=8, criterion="entropy").fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_feature_count_mismatch(self, rng):
+        X, y = xor_data(rng, n=50)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((2, 3)))
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(criterion="mse")
+
+    def test_rejects_nan_inputs(self):
+        X = np.zeros((4, 2))
+        X[1, 1] = np.nan
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(X, [0, 1, 0, 1])
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((3, 2)), [0, 1])
+
+
+class TestRegressorBasics:
+    def test_fits_step_function(self, rng):
+        X = rng.uniform(-1, 1, size=(300, 1))
+        y = np.where(X[:, 0] > 0.3, 5.0, -2.0)
+        reg = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        assert reg.score(X, y) > 0.999
+
+    def test_piecewise_smooth_approximation(self, rng):
+        X = rng.uniform(0, 2 * np.pi, size=(600, 1))
+        y = np.sin(X[:, 0])
+        reg = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        assert reg.score(X, y) > 0.95
+
+    def test_depth_zero_predicts_mean(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = rng.normal(size=50)
+        reg = DecisionTreeRegressor(max_depth=1, min_samples_split=200).fit(X, y)
+        np.testing.assert_allclose(reg.predict(X), y.mean(), atol=1e-9)
+
+    def test_constant_target(self, rng):
+        X = rng.normal(size=(30, 2))
+        reg = DecisionTreeRegressor().fit(X, np.full(30, 3.5))
+        np.testing.assert_allclose(reg.predict(X), 3.5)
+        assert reg.score(X, np.full(30, 3.5)) == 1.0
+
+    def test_rejects_nan_target(self, rng):
+        X = rng.normal(size=(4, 2))
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(X, [0.0, np.nan, 1.0, 2.0])
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), depth=st.integers(1, 6))
+def test_classifier_training_accuracy_monotone_in_depth(seed, depth):
+    """Property: deeper trees never fit the training set worse."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(80, 3))
+    y = (X[:, 0] + X[:, 1] ** 2 > 0.3).astype(int)
+    shallow = DecisionTreeClassifier(max_depth=depth).fit(X, y).score(X, y)
+    deeper = DecisionTreeClassifier(max_depth=depth + 2).fit(X, y).score(X, y)
+    assert deeper >= shallow - 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_regressor_predictions_within_target_range(seed):
+    """Property: leaf means can never leave the observed target range."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(60, 2))
+    y = rng.uniform(-3, 7, size=60)
+    reg = DecisionTreeRegressor(max_depth=4).fit(X, y)
+    pred = reg.predict(rng.normal(size=(40, 2)))
+    assert pred.min() >= y.min() - 1e-9
+    assert pred.max() <= y.max() + 1e-9

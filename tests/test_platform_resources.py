@@ -1,0 +1,122 @@
+"""Tests for ResourceVector algebra and comparisons."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform_.resources import CPU, DIMENSIONS, GPU, ResourceVector
+
+components = st.floats(0, 100, allow_nan=False)
+vectors = st.builds(
+    lambda c, g, m, r: ResourceVector(cpu=c, gpu=g, gpu_mem=m, ram=r),
+    components, components, components, components,
+)
+
+
+class TestConstruction:
+    def test_keyword_defaults(self):
+        v = ResourceVector(cpu=10)
+        assert v.cpu == 10 and v.gpu == 0 and v.gpu_mem == 0 and v.ram == 0
+
+    def test_from_array(self):
+        v = ResourceVector.from_array([1, 2, 3, 4])
+        assert v.as_dict() == {"cpu": 1, "gpu": 2, "gpu_mem": 3, "ram": 4}
+
+    def test_from_array_wrong_length(self):
+        with pytest.raises(ValueError):
+            ResourceVector.from_array([1, 2, 3])
+
+    def test_coerce_mapping(self):
+        v = ResourceVector.coerce({"cpu": 5, "gpu": 6})
+        assert v.cpu == 5 and v.gpu == 6
+
+    def test_coerce_rejects_unknown_dims(self):
+        with pytest.raises(ValueError):
+            ResourceVector.coerce({"vram": 5})
+
+    def test_coerce_passthrough(self):
+        v = ResourceVector(cpu=1)
+        assert ResourceVector.coerce(v) is v
+
+    def test_full_and_zeros(self):
+        assert ResourceVector.full(100).array.tolist() == [100] * 4
+        assert ResourceVector.zeros().array.tolist() == [0] * 4
+
+    def test_array_is_readonly(self):
+        v = ResourceVector(cpu=1)
+        with pytest.raises(ValueError):
+            v.array[0] = 5
+
+    def test_getitem_by_name_and_index(self):
+        v = ResourceVector(cpu=3, gpu=7)
+        assert v["cpu"] == 3 and v[GPU] == 7
+
+
+class TestAlgebra:
+    def test_add_sub(self):
+        a = ResourceVector(cpu=10, gpu=20)
+        b = ResourceVector(cpu=1, gpu=2)
+        assert (a + b).cpu == 11
+        assert (a - b).gpu == 18
+
+    def test_scalar_ops(self):
+        v = ResourceVector(cpu=10) * 2
+        assert v.cpu == 20
+        assert (v / 4).cpu == 5
+
+    def test_maximum_minimum(self):
+        a = ResourceVector(cpu=10, gpu=1)
+        b = ResourceVector(cpu=2, gpu=5)
+        assert a.maximum(b).as_dict()["cpu"] == 10
+        assert a.maximum(b).as_dict()["gpu"] == 5
+        assert a.minimum(b).as_dict()["cpu"] == 2
+
+    def test_clip(self):
+        v = ResourceVector.from_array([-5, 50, 150, 0]).clip(0, 100)
+        assert v.array.tolist() == [0, 50, 100, 0]
+
+    def test_scale(self):
+        v = ResourceVector(cpu=10, gpu=10).scale(ResourceVector(cpu=2, gpu=0.5, gpu_mem=1, ram=1))
+        assert v.cpu == 20 and v.gpu == 5
+
+
+class TestComparison:
+    def test_fits_within(self):
+        assert ResourceVector(cpu=10).fits_within(ResourceVector.full(10))
+        assert not ResourceVector(cpu=10.1).fits_within(ResourceVector.full(10))
+
+    def test_dominates(self):
+        assert ResourceVector.full(5).dominates(ResourceVector(cpu=5))
+
+    def test_equality_and_hash(self):
+        a = ResourceVector(cpu=1.0)
+        b = ResourceVector(cpu=1.0)
+        assert a == b and hash(a) == hash(b)
+
+    def test_is_nonnegative(self):
+        assert ResourceVector().is_nonnegative()
+        assert not ResourceVector.from_array([-1, 0, 0, 0]).is_nonnegative()
+
+    def test_max_component(self):
+        assert ResourceVector(cpu=3, gpu=9).max_component() == 9
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=vectors, b=vectors)
+def test_add_then_subtract_roundtrips(a, b):
+    np.testing.assert_allclose((a + b - b).array, a.array, atol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=vectors, b=vectors)
+def test_minimum_fits_within_both(a, b):
+    m = a.minimum(b)
+    assert m.fits_within(a) and m.fits_within(b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=vectors, b=vectors)
+def test_maximum_dominates_both(a, b):
+    m = a.maximum(b)
+    assert m.dominates(a) and m.dominates(b)

@@ -1,0 +1,174 @@
+"""Hypothesis-driven invariants across module boundaries.
+
+These complement the per-module property tests: each one generates a
+random *system* (game layout, demand pattern, curve) and asserts a
+structural invariant end to end.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profiler import FrameGrainedProfiler, ProfilerConfig
+from repro.core.stages import StageLibrary, StageTypeId
+from repro.games.category import GameCategory
+from repro.games.session import GameSession
+from repro.games.spec import ClusterSpec, GameSpec, ScriptSpec, StageKind, StageSpec
+from repro.mlkit.kmeans import elbow_k
+from repro.platform_.resources import ResourceVector
+
+
+def rv(cpu=0, gpu=0, gpu_mem=0, ram=0):
+    return ResourceVector(cpu=cpu, gpu=gpu, gpu_mem=gpu_mem, ram=ram)
+
+
+# ----------------------------------------------------------------------
+# Random small games that always validate
+# ----------------------------------------------------------------------
+
+@st.composite
+def small_games(draw):
+    """A random 2–3-stage game with one loading cluster."""
+    n_exec = draw(st.integers(1, 3))
+    clusters = {
+        "load": ClusterSpec(
+            "load", rv(cpu=draw(st.integers(30, 70)), gpu=3, gpu_mem=8, ram=8),
+            rv(cpu=1, gpu=0.5, gpu_mem=0.5, ram=0.5), nominal_fps=60,
+        )
+    }
+    stages = {"boot": StageSpec("boot", StageKind.LOADING, ("load",), 6.0)}
+    script_stages = ["boot"]
+    for i in range(n_exec):
+        cname = f"c{i}"
+        gpu = 15 + 18 * i + draw(st.integers(0, 6))
+        clusters[cname] = ClusterSpec(
+            cname, rv(cpu=15 + 10 * i, gpu=gpu, gpu_mem=10 + 5 * i, ram=10),
+            rv(cpu=1, gpu=1, gpu_mem=0.5, ram=0.5), nominal_fps=90,
+        )
+        sname = f"s{i}"
+        stages[sname] = StageSpec(
+            sname, StageKind.EXECUTION, (cname,),
+            float(draw(st.integers(30, 70))), duration_scale=0.2,
+        )
+        script_stages.append(sname)
+        if i < n_exec - 1:
+            lname = f"mid{i}"
+            stages[lname] = StageSpec(lname, StageKind.LOADING, ("load",), 6.0)
+            script_stages.append(lname)
+    stages["exit"] = StageSpec("exit", StageKind.LOADING, ("load",), 6.0)
+    script_stages.append("exit")
+    return GameSpec(
+        name="randgame",
+        category=GameCategory.WEB,
+        clusters=clusters,
+        stages=stages,
+        scripts=(ScriptSpec("s", "random", tuple(script_stages)),),
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(spec=small_games(), seed=st.integers(0, 1000))
+def test_session_history_partitions_timeline(spec, seed):
+    """Property: a session's stage history is a contiguous partition of
+    its elapsed time, in script order, with wall-time bounded length."""
+    session = GameSession(spec, "s", seed=seed)
+    full = ResourceVector.full(100.0)
+    guard = 0
+    while not session.finished:
+        session.advance(full)
+        guard += 1
+        assert guard < 5000
+    assert session.history[0][1] == 0
+    assert session.history[-1][2] == session.elapsed
+    for (_, _, e1), (_, s2, _) in zip(session.history[:-1], session.history[1:]):
+        assert e1 == s2
+    played = [name for name, _, _ in session.history]
+    assert played == list(session.resolved_stage_names)
+
+
+@settings(max_examples=8, deadline=None)
+@given(spec=small_games(), seed=st.integers(0, 100))
+def test_profiler_segmentation_partitions_frames(spec, seed):
+    """Property: segmentation covers every frame exactly once, and every
+    segment's type references clusters that exist in the library."""
+    from repro.games.tracegen import generate_trace
+
+    bundles = [generate_trace(spec, "s", seed=seed + i) for i in range(3)]
+    profiler = FrameGrainedProfiler(
+        "randgame", config=ProfilerConfig(n_clusters=len(spec.clusters))
+    )
+    lib = profiler.fit(bundles)
+    for bundle in bundles:
+        frames = bundle.frames().values
+        if len(frames) == 0:
+            continue
+        segs = profiler.segment(frames)
+        assert segs[0].start_frame == 0
+        assert segs[-1].end_frame == len(frames)
+        for a, b in zip(segs[:-1], segs[1:]):
+            assert a.end_frame == b.start_frame
+        for seg in segs:
+            assert all(0 <= c < lib.n_clusters for c in seg.type_id)
+            assert seg.peak.shape == (4,)
+            assert np.all(seg.peak + 1e-9 >= seg.mean)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    true_k=st.integers(2, 6),
+    drop_ratio=st.floats(0.3, 0.6),
+    noise=st.floats(0.001, 0.02),
+)
+def test_elbow_on_ideal_curves(true_k, drop_ratio, noise):
+    """Property: on an idealised curve — big structural drops down to
+    true_k, then a tiny geometric tail — the drop criterion finds
+    exactly true_k, provided the last structural drop clears the
+    criterion's 3 %-of-span noise floor (its documented contract)."""
+    from hypothesis import assume
+
+    ks = list(range(1, 11))
+    sse = []
+    value = 1.0
+    for k in ks:
+        sse.append(value)
+        if k < true_k:
+            value *= drop_ratio  # structural drop
+        else:
+            value *= 1 - noise  # flat tail
+    span = sse[0] - sse[-1]
+    last_structural_drop = sse[true_k - 2] - sse[true_k - 1]
+    assume(last_structural_drop >= 0.035 * span)
+    assert elbow_k(ks, sse) == true_k
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=3, max_size=30
+    )
+)
+def test_library_classification_is_nearest_centroid(data):
+    """Property: classify_frame always returns the nearest centroid."""
+    centers = np.array(
+        [[10, 5, 5, 5], [50, 50, 20, 20], [80, 10, 30, 10]], dtype=float
+    )
+    lib = StageLibrary("g", centers, [0])
+    for cpu, gpu in data:
+        frame = np.array([cpu, gpu, 10.0, 10.0])
+        got = lib.classify_frame(frame)
+        dists = np.linalg.norm(centers - frame, axis=1)
+        assert got == int(np.argmin(dists))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seeds=st.lists(st.integers(0, 10_000), min_size=1, max_size=4, unique=True)
+)
+def test_stage_type_ids_are_order_insensitive(seeds):
+    """Property: any permutation of cluster indices yields the same id."""
+    rng = np.random.default_rng(seeds[0])
+    clusters = rng.choice(10, size=rng.integers(1, 5), replace=False)
+    a = StageTypeId(clusters.tolist())
+    b = StageTypeId(reversed(clusters.tolist()))
+    assert a == b and hash(a) == hash(b)

@@ -1,0 +1,84 @@
+"""Tests for repro.util.rng: determinism and stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_rng, derive_seed, spawn_rngs, stable_hash
+
+
+class TestAsRng:
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(7).normal(size=5)
+        b = as_rng(7).normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(as_rng(1).normal(size=5), as_rng(2).normal(size=5))
+
+    def test_generator_passthrough_shares_state(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_children_are_independent_of_count(self):
+        # The first two children must not change when more are spawned.
+        a = [g.normal() for g in spawn_rngs(42, 2)]
+        b = [g.normal() for g in spawn_rngs(42, 5)[:2]]
+        assert a == b
+
+    def test_children_differ_from_each_other(self):
+        kids = spawn_rngs(42, 3)
+        draws = [g.normal(size=4) for g in kids]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(3)
+        kids = spawn_rngs(g, 2)
+        assert len(kids) == 2
+        assert not np.allclose(kids[0].normal(size=3), kids[1].normal(size=3))
+
+
+class TestStableHash:
+    def test_stable_across_calls(self):
+        assert stable_hash("genshin") == stable_hash("genshin")
+
+    def test_differs_between_strings(self):
+        assert stable_hash("genshin") != stable_hash("contra")
+
+    def test_mod_range(self):
+        for s in ("a", "b", "longer-string"):
+            assert 0 <= stable_hash(s, mod=97) < 97
+
+    def test_bad_mod(self):
+        with pytest.raises(ValueError):
+            stable_hash("x", mod=0)
+
+    def test_known_value_regression(self):
+        # FNV-1a of the empty string is the offset basis.
+        assert stable_hash("") == 0xCBF29CE484222325
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_order_sensitive(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_base_sensitive(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_usable_as_numpy_seed(self):
+        np.random.default_rng(derive_seed(0, "game", "player"))
