@@ -9,7 +9,9 @@ Four subcommands cover the operator workflow the paper describes:
 * ``cocg colocate GAME [GAME …]`` — run a co-location experiment under a
   chosen strategy and print throughput/QoS;
 * ``cocg fleet GAME [GAME …]`` — dispatch Poisson arrivals over a small
-  heterogeneous fleet.
+  heterogeneous fleet;
+* ``cocg lint [PATH …]`` — run the CoCG invariant checker
+  (:mod:`repro.lint`, rules CG001–CG007) over the codebase.
 
 Run ``python -m repro.cli --help`` (or the installed ``cocg`` script).
 """
@@ -22,7 +24,15 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "cmd_catalog",
+    "cmd_profile",
+    "cmd_colocate",
+    "cmd_fleet",
+    "cmd_lint",
+]
 
 _STRATEGIES = ("cocg", "reactive", "gaugur", "vbp", "max-static")
 
@@ -194,6 +204,13 @@ def cmd_fleet(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """``cocg lint``: run the invariant checker (exit 1 on findings)."""
+    from repro.lint.__main__ import run_from_args
+
+    return run_from_args(args)
+
+
 # ----------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -241,6 +258,14 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--sessions", type=int, default=3)
     f.add_argument("--profiles-dir", help="cache profiles here")
     f.set_defaults(func=cmd_fleet)
+
+    from repro.lint.__main__ import configure_parser as _configure_lint_parser
+
+    lint = sub.add_parser(
+        "lint", help="check CoCG invariants (rules CG001-CG007)"
+    )
+    _configure_lint_parser(lint)
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -7,13 +7,12 @@ game will continuously run requests until the distributor passes").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.cluster.fleet import ClusterScheduler, FleetNode
-from repro.core.pipeline import GameProfile
+from repro.cluster.fleet import ClusterScheduler
 from repro.games.spec import GameSpec
 from repro.util.rng import Seed, derive_seed
 from repro.workloads.metrics import throughput_eq2

@@ -19,9 +19,8 @@ migrated, §I), so the dispatch policy is the only fleet-level decision:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.baselines.base import SchedulingStrategy
 from repro.core.pipeline import GameProfile

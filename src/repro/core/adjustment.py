@@ -19,10 +19,9 @@ Three emergency mechanisms revise the predictor's output:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
-from repro.core.predictor import BACKENDS
 from repro.games.category import GameCategory
 from repro.platform_.resources import ResourceVector
 from repro.util.validation import check_fraction

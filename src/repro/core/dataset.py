@@ -23,7 +23,7 @@ plus, for MMO, the co-login group's current type histogram.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -21,9 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Protocol, Sequence
 
-import numpy as np
 
-from repro.core.stages import StageLibrary, StageTypeId
 from repro.platform_.resources import ResourceVector
 
 __all__ = ["RunningTaskView", "AdmissionDecision", "Distributor"]

@@ -22,7 +22,9 @@ __all__ = ["FRAME_SECONDS", "frames_of_series", "frame_matrix"]
 FRAME_SECONDS = 5
 
 
-def frames_of_series(series: ResourceSeries, *, frame_seconds: int = FRAME_SECONDS) -> ResourceSeries:
+def frames_of_series(
+    series: ResourceSeries, *, frame_seconds: int = FRAME_SECONDS
+) -> ResourceSeries:
     """Aggregate a 1-second series into frames (mean per window)."""
     if frame_seconds < 1:
         raise ValueError(f"frame_seconds must be >= 1, got {frame_seconds}")

@@ -10,7 +10,8 @@ online scheduler consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.predictor import BACKENDS, StagePredictor
 from repro.core.profiler import FrameGrainedProfiler, ProfilerConfig
@@ -18,6 +19,9 @@ from repro.core.stages import Segment, StageLibrary
 from repro.games.spec import GameSpec
 from repro.games.tracegen import TraceBundle, generate_corpus
 from repro.util.rng import Seed
+
+if TYPE_CHECKING:
+    from repro.platform_.profile import PlatformProfile
 
 __all__ = ["GameProfile"]
 
@@ -143,7 +147,7 @@ class GameProfile:
     # Persistence: "profiling and model training only need to be
     # performed once" — so the artifact must survive the process.
     # ------------------------------------------------------------------
-    def save(self, path) -> None:
+    def save(self, path: Union[str, Path]) -> None:
         """Write the profile (library + trained predictors) as JSON.
 
         The game spec itself is not serialized — it is code, identified
@@ -151,7 +155,6 @@ class GameProfile:
         are profiling intermediates and are not persisted.
         """
         import json
-        from pathlib import Path
 
         payload = {
             "format": "cocg-game-profile/1",
@@ -165,10 +168,9 @@ class GameProfile:
         Path(path).write_text(json.dumps(payload))
 
     @classmethod
-    def load(cls, path, spec: GameSpec) -> "GameProfile":
+    def load(cls, path: Union[str, Path], spec: GameSpec) -> "GameProfile":
         """Reload a saved profile, rebinding it to its game spec."""
         import json
-        from pathlib import Path
 
         from repro.core.predictor import StagePredictor
         from repro.core.stages import StageLibrary
@@ -189,7 +191,7 @@ class GameProfile:
             spec=spec, library=library, predictors=predictors, corpus_segments=[]
         )
 
-    def rescaled(self, platform) -> "GameProfile":
+    def rescaled(self, platform: "PlatformProfile") -> "GameProfile":
         """This profile migrated to another platform (§IV-D).
 
         The stage structure (types, transitions, trained predictors) is

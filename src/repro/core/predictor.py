@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -31,7 +31,7 @@ from repro.mlkit.forest import RandomForestClassifier
 from repro.mlkit.gbdt import GradientBoostedClassifier
 from repro.mlkit.model_selection import train_test_split
 from repro.mlkit.tree import DecisionTreeClassifier
-from repro.util.rng import Seed, as_rng, derive_seed
+from repro.util.rng import Seed, derive_seed
 
 __all__ = [
     "BACKENDS",
@@ -39,12 +39,17 @@ __all__ = [
     "Judgment",
     "StagePredictor",
     "PredictionCostModel",
+    "make_backend",
 ]
 
 BACKENDS: Tuple[str, ...] = ("dtc", "rf", "gbdt")
 
+BackendModel = Union[
+    DecisionTreeClassifier, RandomForestClassifier, GradientBoostedClassifier
+]
 
-def make_backend(name: str, seed: Seed = None):
+
+def make_backend(name: str, seed: Seed = None) -> BackendModel:
     """Instantiate one of the paper's three model backends."""
     if name == "dtc":
         return DecisionTreeClassifier(max_depth=10, min_samples_leaf=2, seed=seed)

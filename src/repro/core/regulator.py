@@ -19,7 +19,7 @@ Two strategies:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.platform_.resources import ResourceVector
 from repro.util.validation import check_fraction
@@ -111,7 +111,7 @@ class Regulator:
         pending: Sequence,
         current_allocation: ResourceVector,
         *,
-        long_term_of=lambda request: True,
+        long_term_of: Callable[[object], bool] = lambda request: True,
     ) -> Optional[int]:
         """Index of the pending request to try next (§IV-C2 length rule).
 

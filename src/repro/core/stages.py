@@ -15,11 +15,11 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.platform_.resources import DIMENSIONS, N_DIMS, ResourceVector
+from repro.platform_.resources import N_DIMS, ResourceVector
 
 __all__ = ["StageTypeId", "Segment", "StageStats", "StageLibrary"]
 

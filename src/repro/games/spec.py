@@ -19,9 +19,9 @@ mutually consistent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+from typing import FrozenSet, Mapping, Optional, Tuple
 
 import numpy as np
 

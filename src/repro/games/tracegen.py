@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.games.player import PlayerModel
 from repro.games.session import GameSession
-from repro.games.spec import GameSpec, StageKind
+from repro.games.spec import GameSpec
 from repro.platform_.profile import PlatformProfile, REFERENCE_PLATFORM
 from repro.platform_.resources import DIMENSIONS, ResourceVector
 from repro.util.rng import Seed, as_rng, derive_seed

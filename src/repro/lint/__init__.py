@@ -1,0 +1,55 @@
+"""``repro.lint`` — AST-based invariant checker for the CoCG codebase.
+
+The reproduction's correctness rests on conventions Python itself never
+enforces: the *no global randomness* rule (:mod:`repro.util.rng`),
+engine-clock-only time inside :mod:`repro.sim`, canonical
+:data:`~repro.platform_.resources.DIMENSIONS` usage, exception hygiene
+on scheduler/distributor decision paths, complete ``__all__`` exports,
+and type-annotated public APIs.  This package parses the tree with
+:mod:`ast` and enforces each convention as a named rule (**CG001** –
+**CG007**; see ``docs/LINT.md``).
+
+Use it three ways:
+
+* ``python -m repro.lint src/`` or ``cocg lint`` from a shell/CI
+  (exit code 1 when findings exist, ``--format json`` for machines);
+* :func:`lint_paths` / :func:`lint_file` as a library;
+* ``# lint: disable=CGxxx`` pragmas to suppress a finding at a line
+  (trailing comment) or for a whole file (standalone comment).
+
+Adding a rule is ~30 lines: subclass :class:`Rule`, set ``rule_id`` /
+``name`` / ``description``, optionally narrow ``applies_to``, implement
+``visit_*`` methods that call ``self.report``, and decorate with
+:func:`register`.
+"""
+
+from repro.lint.engine import LintResult, iter_python_files, lint_file, lint_paths
+from repro.lint.findings import Finding
+from repro.lint.pragmas import Suppressions, parse_suppressions
+from repro.lint.registry import (
+    FileContext,
+    Rule,
+    UnknownRuleError,
+    all_rules,
+    register,
+    resolve_rules,
+)
+from repro.lint.reporters import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "UnknownRuleError",
+    "register",
+    "all_rules",
+    "resolve_rules",
+    "Suppressions",
+    "parse_suppressions",
+    "LintResult",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "render_text",
+    "render_json",
+]

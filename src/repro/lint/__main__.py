@@ -1,0 +1,99 @@
+"""``python -m repro.lint`` — the analyzer's command-line front end.
+
+Also backs the ``cocg lint`` subcommand: :func:`configure_parser`
+installs the shared flags on any :class:`argparse.ArgumentParser` (or
+subparser) and :func:`run_from_args` executes the parsed namespace.
+
+Exit codes: ``0`` clean, ``1`` findings reported, ``2`` usage error
+(unknown rule id or nonexistent path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.engine import lint_paths
+from repro.lint.registry import UnknownRuleError, all_rules
+from repro.lint.reporters import render_json, render_text
+
+__all__ = ["configure_parser", "build_parser", "run_from_args", "main"]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Install the lint CLI flags on ``parser`` (shared with ``cocg lint``)."""
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files/directories to lint (default: ./src if present, else .)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The standalone ``python -m repro.lint`` parser."""
+    return configure_parser(argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="CoCG invariant checker (rules CG001-CG007)",
+    ))
+
+
+def _split_rule_list(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    rules = [part.strip() for part in raw.split(",") if part.strip()]
+    if not rules:
+        # An explicitly empty selection would silently lint nothing and
+        # exit 0 — a CI footgun; fail loudly instead.
+        raise UnknownRuleError("empty rule list (expected e.g. CG001,CG005)")
+    return rules
+
+
+def _default_paths() -> List[str]:
+    return ["src"] if Path("src").is_dir() else ["."]
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a parsed lint namespace; returns the process exit code."""
+    if args.list_rules:
+        for rule_id, rule_cls in sorted(all_rules().items()):
+            print(f"{rule_id}  {rule_cls.name:28} {rule_cls.description}")
+        return 0
+    paths = args.paths or _default_paths()
+    try:
+        result = lint_paths(
+            paths,
+            select=_split_rule_list(args.select),
+            ignore=_split_rule_list(args.ignore),
+        )
+    except (UnknownRuleError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_json(result) if args.format == "json" else render_text(result))
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.lint``."""
+    return run_from_args(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""File discovery, parsing, and rule dispatch.
+
+:func:`lint_paths` is the library entry point: it expands files and
+directories into ``*.py`` targets, parses each with :mod:`ast`, builds a
+:class:`~repro.lint.registry.FileContext` (including the pragma table),
+runs every applicable rule, and returns a :class:`LintResult`.
+
+Rules scope themselves on the file's path *relative to the package
+root*; :func:`_rel_parts` recovers that for installed trees
+(``…/src/repro/core/x.py`` → ``("core", "x.py")``) and for fixture trees
+(``tmp/core/x.py`` linted with root ``tmp`` → the same), so tests can
+exercise path-scoped rules without a full package checkout.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Type
+
+from repro.lint.findings import Finding
+from repro.lint.pragmas import parse_suppressions
+from repro.lint.registry import FileContext, Rule, resolve_rules
+
+# Importing the rules module populates the registry.
+import repro.lint.rules  # noqa: F401  (side-effect import)
+
+__all__ = ["LintResult", "lint_file", "lint_paths", "iter_python_files"]
+
+#: Rule id used for files that do not parse at all.
+_SYNTAX_RULE_ID = "CG000"
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".venv", "node_modules",
+                   ".mypy_cache", ".ruff_cache", ".pytest_cache"}
+
+
+@dataclass
+class LintResult:
+    """Findings plus how much was looked at to produce them."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no rule fired."""
+        return not self.findings
+
+
+def iter_python_files(paths: Sequence[Path]) -> list[tuple[Path, Path]]:
+    """Expand files/directories into ``(file, root)`` pairs.
+
+    ``root`` is the directory the file was discovered under (the file's
+    parent for explicit file arguments); rules use it to locate the file
+    within the package when the path carries no ``repro`` component.
+    """
+    out: list[tuple[Path, Path]] = []
+    for path in paths:
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                if any(part in _SKIP_DIR_NAMES for part in file.parts):
+                    continue
+                out.append((file, path))
+        elif path.is_file():
+            out.append((path, path.parent))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return out
+
+
+#: Top-level subpackages of ``repro`` that path-scoped rules key on.
+_KNOWN_SUBPACKAGES = {
+    "analysis", "baselines", "cluster", "core", "games", "lint",
+    "mlkit", "platform_", "sim", "streaming", "util", "workloads",
+}
+
+
+def _rel_parts(file: Path, root: Path) -> tuple[str, ...]:
+    """Path components of ``file`` relative to the ``repro`` package."""
+    resolved = file.resolve().parts
+    if "repro" in resolved:
+        # Last occurrence: the package dir even when a parent dir is
+        # also called "repro".
+        idx = len(resolved) - 1 - resolved[::-1].index("repro")
+        parts = resolved[idx + 1:]
+        if parts:
+            return tuple(parts)
+    try:
+        parts = file.resolve().relative_to(root.resolve()).parts
+    except ValueError:
+        parts = (file.name,)
+    while parts and parts[0] in ("src", "repro"):
+        parts = parts[1:]
+    if len(parts) <= 1:
+        # An explicit file argument carries no tree context; recover the
+        # subpackage from any known directory name in the full path so
+        # `lint core/x.py` scopes the same way as `lint core/`.
+        dirs = resolved[:-1]
+        for i in range(len(dirs) - 1, -1, -1):
+            if dirs[i] in _KNOWN_SUBPACKAGES:
+                return tuple(resolved[i:])
+    return tuple(parts) if parts else (file.name,)
+
+
+def lint_file(
+    file: Path,
+    *,
+    root: Optional[Path] = None,
+    rules: Optional[Iterable[Type[Rule]]] = None,
+) -> list[Finding]:
+    """Lint one file and return its findings, sorted by location."""
+    if rules is None:
+        rules = resolve_rules()
+    root = root if root is not None else file.parent
+    display = str(file)
+    try:
+        source = file.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=display)
+    except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        col = getattr(exc, "offset", None) or 1
+        reason = getattr(exc, "msg", None) or str(exc)
+        return [Finding(path=display, line=int(line), col=int(col),
+                        rule_id=_SYNTAX_RULE_ID,
+                        message=f"file does not parse: {reason}")]
+    ctx = FileContext(
+        path=display,
+        rel_parts=_rel_parts(file, root),
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+    for rule_cls in rules:
+        if rule_cls.applies_to(ctx):
+            rule_cls(ctx).check()
+    return sorted(ctx.findings)
+
+
+def lint_paths(
+    paths: Sequence[object],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint files and directory trees.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories (``str`` or :class:`~pathlib.Path`).
+    select / ignore:
+        Optional rule-id filters, as in
+        :func:`repro.lint.registry.resolve_rules`.
+    """
+    rules = resolve_rules(select, ignore)
+    result = LintResult()
+    for file, root in iter_python_files([Path(p) for p in paths]):
+        result.findings.extend(lint_file(file, root=root, rules=rules))
+        result.files_checked += 1
+    result.findings.sort()
+    return result

@@ -1,0 +1,41 @@
+"""The :class:`Finding` value type emitted by every lint rule.
+
+A finding pins one rule violation to a ``file:line:col`` location.  The
+type is deliberately tiny and serialisable — the JSON reporter emits
+:meth:`Finding.to_dict` verbatim, and CI greps the text rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Orders by ``(path, line, col, rule_id)`` so reports are stable
+    regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """Render as ``path:line:col: CGxxx message`` (grep-friendly)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict view for the JSON reporter."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

@@ -1,0 +1,150 @@
+"""Rule base class, per-file context, and the rule registry.
+
+A rule is an :class:`ast.NodeVisitor` subclass decorated with
+:func:`register`.  The engine instantiates each enabled rule once per
+file with a :class:`FileContext` and calls :meth:`Rule.check`; the rule
+walks the tree and calls :meth:`Rule.report` on violations.  Pragma
+suppression and finding collection live in the context, so a new rule is
+typically ~30 lines: a class-level id/description, an optional
+:meth:`Rule.applies_to` scope, and one or two ``visit_*`` methods.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterable, Optional, Type
+
+from repro.lint.findings import Finding
+from repro.lint.pragmas import Suppressions
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "resolve_rules",
+    "UnknownRuleError",
+]
+
+
+class FileContext:
+    """Everything a rule may consult about the file under analysis."""
+
+    def __init__(
+        self,
+        *,
+        path: str,
+        rel_parts: tuple[str, ...],
+        tree: ast.Module,
+        suppressions: Suppressions,
+    ):
+        self.path = path
+        #: Path components relative to the ``repro`` package root, e.g.
+        #: ``("core", "scheduler.py")``.  Rules scope themselves on this
+        #: rather than on absolute paths so fixture trees lint the same
+        #: way as the installed package.
+        self.rel_parts = rel_parts
+        self.tree = tree
+        self.suppressions = suppressions
+        self.findings: list[Finding] = []
+
+    def report(self, rule_id: str, node: ast.AST, message: str) -> None:
+        """Record a finding unless a pragma suppresses it."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if self.suppressions.is_suppressed(rule_id, line):
+            return
+        self.findings.append(
+            Finding(path=self.path, line=line, col=col + 1,
+                    rule_id=rule_id, message=message)
+        )
+
+    def in_subpackage(self, *names: str) -> bool:
+        """True when the file lives under one of the given top-level
+        subpackages (``core``, ``sim``, …)."""
+        return bool(self.rel_parts) and self.rel_parts[0] in names
+
+    def is_module(self, *parts: str) -> bool:
+        """True when the file's relative path is exactly ``parts``."""
+        return self.rel_parts == parts
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for all lint rules.
+
+    Subclasses set :attr:`rule_id`, :attr:`name`, :attr:`description`
+    (shown by ``--list-rules`` and in :doc:`docs/LINT.md`), optionally
+    narrow :meth:`applies_to`, and implement ``visit_*`` methods that
+    call :meth:`report`.
+    """
+
+    rule_id: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+
+    def __init__(self, ctx: FileContext):
+        self.ctx = ctx
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        """Whether the rule runs on this file at all (default: yes)."""
+        return True
+
+    def check(self) -> None:
+        """Walk the file's AST once, reporting violations."""
+        self.visit(self.ctx.tree)
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record one violation at ``node``'s location."""
+        self.ctx.report(self.rule_id, node, message)
+
+
+#: rule id -> rule class, in registration order.
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+class UnknownRuleError(ValueError):
+    """Raised when ``--select``/``--ignore`` names a rule that does not
+    exist."""
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} must set a rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, Type[Rule]]:
+    """The registry, id -> class (copy; registration order preserved)."""
+    return dict(_REGISTRY)
+
+
+def resolve_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> list[Type[Rule]]:
+    """Resolve enable/disable options into the rule classes to run.
+
+    ``select`` keeps only the named rules; ``ignore`` then removes rules
+    from whatever ``select`` produced.  Unknown ids raise
+    :class:`UnknownRuleError` so typos fail loudly instead of silently
+    linting nothing.
+    """
+    chosen = dict(_REGISTRY)
+    if select is not None:
+        wanted = list(select)
+        unknown = [r for r in wanted if r not in _REGISTRY]
+        if unknown:
+            raise UnknownRuleError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        chosen = {r: _REGISTRY[r] for r in _REGISTRY if r in set(wanted)}
+    if ignore is not None:
+        dropped = list(ignore)
+        unknown = [r for r in dropped if r not in _REGISTRY]
+        if unknown:
+            raise UnknownRuleError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        chosen = {r: c for r, c in chosen.items() if r not in set(dropped)}
+    return list(chosen.values())

@@ -1,0 +1,32 @@
+"""Finding renderers: grep-friendly text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(result: LintResult) -> str:
+    """One ``path:line:col: CGxxx message`` line per finding, then a
+    one-line summary."""
+    lines = [finding.format() for finding in result.findings]
+    n = len(result.findings)
+    if n:
+        lines.append(f"{n} finding{'s' if n != 1 else ''} "
+                     f"in {result.files_checked} file(s) checked")
+    else:
+        lines.append(f"ok: {result.files_checked} file(s) checked, no findings")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """A JSON document: ``{"files_checked", "count", "findings": [...]}``."""
+    payload = {
+        "files_checked": result.files_checked,
+        "count": len(result.findings),
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,594 @@
+"""The CoCG invariant rules, CG001–CG007.
+
+Each rule protects one convention the interpreter cannot enforce but the
+reproduction's correctness depends on (see ``docs/LINT.md`` for the full
+rationale and ``docs/LINT.md#adding-a-rule`` for the extension recipe):
+
+========  ==============================================================
+CG001     no global-state randomness outside ``util/rng.py``
+CG002     no mutable default arguments
+CG003     public functions in ``core``/``mlkit``/``platform_`` are typed
+CG004     ``__all__`` is present, accurate, and complete
+CG005     no wall-clock reads inside ``sim`` (use the engine clock)
+CG006     no bare/swallowed exceptions in scheduler/distributor paths
+CG007     resource dimensions come from the canonical constants
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Union
+
+from repro.lint.registry import FileContext, Rule, register
+
+__all__ = [
+    "NoGlobalRandomness",
+    "NoMutableDefaults",
+    "PublicFunctionsTyped",
+    "DunderAllConsistency",
+    "NoWallClockInSim",
+    "ExceptionHygiene",
+    "CanonicalDimensions",
+]
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ----------------------------------------------------------------------
+# CG001
+# ----------------------------------------------------------------------
+
+#: Deterministic constructors that are allowed anywhere: they create a
+#: fresh, explicitly seeded stream rather than touching hidden state.
+_NP_RANDOM_ALLOWED = frozenset({
+    "default_rng", "Generator", "BitGenerator", "SeedSequence",
+    "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+})
+_STDLIB_RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+
+@register
+class NoGlobalRandomness(Rule):
+    """CG001 — the *no global randomness* rule from ``util/rng.py``.
+
+    Flags calls through the ``numpy.random`` and stdlib ``random``
+    *module* namespaces (``np.random.uniform(...)``, ``random.choice``)
+    everywhere except ``util/rng.py`` itself.  Such calls draw from
+    hidden process-global state, so results silently depend on import
+    order and on every other component's draw history.  Stochastic code
+    must accept a :data:`repro.util.rng.Seed` and go through
+    :func:`repro.util.rng.as_rng` / :func:`~repro.util.rng.spawn_rngs`.
+    Seeded constructors (``default_rng``, ``Generator``, bit
+    generators) are allowed; method calls on a threaded ``Generator``
+    instance are of course fine.
+    """
+
+    rule_id = "CG001"
+    name = "no-global-randomness"
+    description = ("global numpy.random / random call outside util/rng.py; "
+                   "thread a Seed/Generator instead")
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        return not ctx.is_module("util", "rng.py")
+
+    def check(self) -> None:
+        # Pre-pass: learn what the random modules are called locally.
+        self._numpy_aliases: set[str] = set()       # e.g. {"np", "numpy"}
+        self._np_random_aliases: set[str] = set()   # bound to numpy.random
+        self._stdlib_aliases: set[str] = set()      # bound to stdlib random
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "numpy" or alias.name.startswith("numpy."):
+                        if alias.name == "numpy.random" and alias.asname:
+                            self._np_random_aliases.add(alias.asname)
+                        else:
+                            self._numpy_aliases.add(bound)
+                    elif alias.name == "random":
+                        self._stdlib_aliases.add(bound)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self._np_random_aliases.add(alias.asname or "random")
+        self.visit(self.ctx.tree)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            bad = [a.name for a in node.names
+                   if a.name not in _STDLIB_RANDOM_ALLOWED]
+            if bad:
+                self.report(node, f"import of global-state random function(s) "
+                                  f"{', '.join(sorted(bad))} from the random module")
+        elif node.module == "numpy.random":
+            bad = [a.name for a in node.names
+                   if a.name not in _NP_RANDOM_ALLOWED]
+            if bad:
+                self.report(node, f"import of global-state numpy.random "
+                                  f"function(s) {', '.join(sorted(bad))}")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            parts = dotted.split(".")
+            fn = parts[-1]
+            prefix = ".".join(parts[:-1])
+            if (
+                (len(parts) == 3 and parts[1] == "random"
+                 and parts[0] in self._numpy_aliases)
+                or (len(parts) == 2 and prefix in self._np_random_aliases)
+            ):
+                if fn not in _NP_RANDOM_ALLOWED:
+                    self.report(node, f"call to global-state numpy.random.{fn}; "
+                                      f"use util.rng.as_rng and Generator methods")
+            elif len(parts) == 2 and prefix in self._stdlib_aliases:
+                if fn not in _STDLIB_RANDOM_ALLOWED:
+                    self.report(node, f"call to global-state random.{fn}; "
+                                      f"use util.rng.as_rng and Generator methods")
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# CG002
+# ----------------------------------------------------------------------
+
+_MUTABLE_DISPLAY = (ast.List, ast.Dict, ast.Set,
+                    ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "defaultdict", "Counter", "deque", "OrderedDict",
+})
+
+
+@register
+class NoMutableDefaults(Rule):
+    """CG002 — no mutable default arguments.
+
+    A mutable default is evaluated once at definition time and shared by
+    every call, so state leaks between supposedly independent sessions,
+    experiments, and simulator runs.  Use ``None`` and materialise inside
+    the function body.
+    """
+
+    rule_id = "CG002"
+    name = "no-mutable-defaults"
+    description = "mutable default argument (shared across calls); default to None"
+
+    def _check_defaults(self, node: Union[_FunctionNode, ast.Lambda],
+                        label: str) -> None:
+        defaults = list(node.args.defaults)
+        defaults += [d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            if isinstance(default, _MUTABLE_DISPLAY):
+                self.report(default, f"mutable default in {label}")
+            elif isinstance(default, ast.Call):
+                callee = _dotted_name(default.func)
+                if callee is not None and callee.split(".")[-1] in _MUTABLE_CALLS:
+                    self.report(default,
+                                f"mutable default {callee}(...) in {label}")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node, f"function {node.name!r}")
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node, f"function {node.name!r}")
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node, "lambda")
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# CG003
+# ----------------------------------------------------------------------
+
+@register
+class PublicFunctionsTyped(Rule):
+    """CG003 — public API in ``core``/``mlkit``/``platform_`` is typed.
+
+    Every public module-level function and every public method of a
+    public class must annotate all parameters (``self``/``cls`` exempt)
+    and the return type.  These are the packages downstream code builds
+    on; annotations there are what makes the ``py.typed`` marker honest.
+    """
+
+    rule_id = "CG003"
+    name = "public-functions-typed"
+    description = ("public function in core/mlkit/platform_ missing "
+                   "parameter or return annotations")
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        return ctx.in_subpackage("core", "mlkit", "platform_")
+
+    def check(self) -> None:
+        for stmt in self.ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(stmt, method=False)
+            elif isinstance(stmt, ast.ClassDef) and not stmt.name.startswith("_"):
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._check_function(sub, method=True)
+
+    def _check_function(self, node: _FunctionNode, *, method: bool) -> None:
+        public = not node.name.startswith("_") or node.name == "__init__"
+        if not public:
+            return
+        args = list(node.args.posonlyargs) + list(node.args.args)
+        if method and args and args[0].arg in ("self", "cls"):
+            args = args[1:]
+        args += list(node.args.kwonlyargs)
+        for extra in (node.args.vararg, node.args.kwarg):
+            if extra is not None:
+                args.append(extra)
+        missing = [a.arg for a in args if a.annotation is None]
+        if missing:
+            self.report(node, f"public function {node.name!r} has unannotated "
+                              f"parameter(s): {', '.join(missing)}")
+        if node.returns is None and node.name != "__init__":
+            self.report(node, f"public function {node.name!r} has no "
+                              f"return annotation")
+
+
+# ----------------------------------------------------------------------
+# CG004
+# ----------------------------------------------------------------------
+
+@register
+class DunderAllConsistency(Rule):
+    """CG004 — ``__all__`` is present, accurate, and complete.
+
+    Three checks per module: the module declares ``__all__`` when it
+    defines public functions/classes; every exported name actually
+    exists at module level; and every public function/class is exported.
+    Recognises literal ``__all__ = [...]`` plus ``+=`` / ``.append`` /
+    ``.extend`` augmentation with string literals.
+    """
+
+    rule_id = "CG004"
+    name = "dunder-all-consistency"
+    description = "__all__ missing, exports a nonexistent name, or omits a public def"
+
+    def check(self) -> None:
+        exported: list[str] = []
+        declaration: Optional[ast.stmt] = None
+        opaque = False          # __all__ built dynamically; skip the file
+        star_import = False
+        bound: set[str] = set()
+        public_defs: list[Union[_FunctionNode, ast.ClassDef]] = []
+
+        def literal_names(node: ast.AST) -> Optional[list[str]]:
+            if isinstance(node, (ast.List, ast.Tuple)) and all(
+                isinstance(e, ast.Constant) and isinstance(e.value, str)
+                for e in node.elts
+            ):
+                return [e.value for e in node.elts]  # type: ignore[union-attr]
+            return None
+
+        def scan(statements: list[ast.stmt]) -> None:
+            nonlocal declaration, opaque, star_import
+            for stmt in statements:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                    bound.add(stmt.name)
+                    if not stmt.name.startswith("_"):
+                        public_defs.append(stmt)
+                elif isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        for name_node in ast.walk(target):
+                            if isinstance(name_node, ast.Name):
+                                bound.add(name_node.id)
+                    if any(isinstance(t, ast.Name) and t.id == "__all__"
+                           for t in stmt.targets):
+                        declaration = declaration or stmt
+                        names = literal_names(stmt.value)
+                        if names is None:
+                            opaque = True
+                        else:
+                            exported.extend(names)
+                elif isinstance(stmt, ast.AnnAssign):
+                    if isinstance(stmt.target, ast.Name):
+                        bound.add(stmt.target.id)
+                elif isinstance(stmt, ast.AugAssign):
+                    if (isinstance(stmt.target, ast.Name)
+                            and stmt.target.id == "__all__"):
+                        names = literal_names(stmt.value)
+                        if names is None:
+                            opaque = True
+                        else:
+                            exported.extend(names)
+                elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+                    call = stmt.value
+                    dotted = _dotted_name(call.func)
+                    if dotted == "__all__.append":
+                        if (len(call.args) == 1
+                                and isinstance(call.args[0], ast.Constant)
+                                and isinstance(call.args[0].value, str)):
+                            exported.append(call.args[0].value)
+                        else:
+                            opaque = True
+                    elif dotted == "__all__.extend":
+                        names = (literal_names(call.args[0])
+                                 if len(call.args) == 1 else None)
+                        if names is None:
+                            opaque = True
+                        else:
+                            exported.extend(names)
+                elif isinstance(stmt, ast.Import):
+                    for alias in stmt.names:
+                        bound.add(alias.asname or alias.name.split(".")[0])
+                elif isinstance(stmt, ast.ImportFrom):
+                    for alias in stmt.names:
+                        if alias.name == "*":
+                            star_import = True
+                        else:
+                            bound.add(alias.asname or alias.name)
+                elif isinstance(stmt, ast.If):
+                    scan(stmt.body)
+                    scan(stmt.orelse)
+                elif isinstance(stmt, ast.Try):
+                    scan(stmt.body)
+                    scan(stmt.orelse)
+                    scan(stmt.finalbody)
+                    for handler in stmt.handlers:
+                        scan(handler.body)
+                elif isinstance(stmt, (ast.With, ast.For, ast.While)):
+                    scan(stmt.body)
+                    scan(getattr(stmt, "orelse", []))
+
+        scan(self.ctx.tree.body)
+        if opaque:
+            return  # dynamically built __all__; nothing safe to assert
+        if declaration is None:
+            if public_defs:
+                self.report(self.ctx.tree, "module defines public names but "
+                                           "declares no __all__")
+            return
+        if not star_import:
+            for name in exported:
+                if name not in bound:
+                    self.report(declaration,
+                                f"__all__ exports {name!r} which is not "
+                                f"defined at module level")
+        export_set = set(exported)
+        for definition in public_defs:
+            if definition.name not in export_set:
+                self.report(definition, f"public definition "
+                                        f"{definition.name!r} missing from __all__")
+
+
+# ----------------------------------------------------------------------
+# CG005
+# ----------------------------------------------------------------------
+
+_WALL_CLOCK_FNS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns",
+    "localtime", "gmtime", "ctime",
+})
+_DATETIME_CLASS_FNS = frozenset({"now", "utcnow", "today"})
+
+
+@register
+class NoWallClockInSim(Rule):
+    """CG005 — simulation code never reads the wall clock.
+
+    Everything under ``sim/`` must take its notion of time from the
+    engine clock (:class:`repro.sim.engine.SimulationEngine`), never
+    from ``time.time()`` and friends: a wall-clock read makes simulated
+    timelines irreproducible and couples results to host load.
+    """
+
+    rule_id = "CG005"
+    name = "no-wall-clock-in-sim"
+    description = "wall-clock read inside sim/; use the engine clock"
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        return ctx.in_subpackage("sim")
+
+    def check(self) -> None:
+        self._time_aliases: set[str] = set()
+        self._datetime_mod_aliases: set[str] = set()
+        self._datetime_cls_aliases: set[str] = set()
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        self._time_aliases.add(alias.asname or "time")
+                    elif alias.name == "datetime":
+                        self._datetime_mod_aliases.add(alias.asname or "datetime")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            self._datetime_cls_aliases.add(alias.asname or alias.name)
+        self.visit(self.ctx.tree)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            bad = [a.name for a in node.names if a.name in _WALL_CLOCK_FNS]
+            if bad:
+                self.report(node, f"import of wall-clock function(s) "
+                                  f"{', '.join(sorted(bad))} from the time module")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            parts = dotted.split(".")
+            fn = parts[-1]
+            prefix = ".".join(parts[:-1])
+            if prefix in self._time_aliases and fn in _WALL_CLOCK_FNS:
+                self.report(node, f"wall-clock call {dotted}() in sim/")
+            elif (prefix in self._datetime_cls_aliases
+                  and fn in _DATETIME_CLASS_FNS):
+                self.report(node, f"wall-clock call {dotted}() in sim/")
+            elif (len(parts) == 3 and parts[0] in self._datetime_mod_aliases
+                  and parts[1] in ("datetime", "date")
+                  and fn in _DATETIME_CLASS_FNS):
+                self.report(node, f"wall-clock call {dotted}() in sim/")
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# CG006
+# ----------------------------------------------------------------------
+
+@register
+class ExceptionHygiene(Rule):
+    """CG006 — no bare or swallowed exceptions on control paths.
+
+    Bare ``except:`` is flagged everywhere (it catches ``SystemExit``
+    and ``KeyboardInterrupt`` too).  In scheduler/distributor/cluster
+    paths — where a silently ignored error becomes a wrong placement
+    decision rather than a crash — a handler for ``Exception`` /
+    ``BaseException`` whose body is only ``pass``/``...``/``continue``
+    is also flagged: handle, log, or re-raise.
+    """
+
+    rule_id = "CG006"
+    name = "exception-hygiene"
+    description = "bare except, or swallowed exception in scheduler/distributor paths"
+
+    def _in_control_path(self) -> bool:
+        parts = self.ctx.rel_parts
+        if parts and parts[0] == "cluster":
+            return True
+        filename = parts[-1] if parts else ""
+        return "scheduler" in filename or "distributor" in filename
+
+    @staticmethod
+    def _is_broad(handler_type: Optional[ast.expr]) -> bool:
+        if handler_type is None:
+            return True
+        names = []
+        if isinstance(handler_type, ast.Tuple):
+            names = [_dotted_name(e) for e in handler_type.elts]
+        else:
+            names = [_dotted_name(handler_type)]
+        return any(n in ("Exception", "BaseException") for n in names if n)
+
+    @staticmethod
+    def _swallows(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Continue):
+                continue
+            if (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)):
+                continue  # docstring or bare ...
+            return False
+        return True
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(node, "bare except: catches SystemExit/KeyboardInterrupt; "
+                              "name the exception type")
+        elif (self._in_control_path() and self._is_broad(node.type)
+              and self._swallows(node.body)):
+            self.report(node, "swallowed exception on a scheduler/distributor "
+                              "path; handle, log, or re-raise")
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# CG007
+# ----------------------------------------------------------------------
+
+#: Mirrors repro.platform_.resources.DIMENSIONS.  Kept as literals here —
+#: the linter must not import the code under analysis.
+_DIM_LITERALS = frozenset({"cpu", "gpu", "gpu_mem", "ram"})  # lint: disable=CG007
+
+
+def _dim_constant(node: ast.AST) -> Optional[str]:
+    if (isinstance(node, ast.Constant) and isinstance(node.value, str)
+            and node.value in _DIM_LITERALS):
+        return node.value
+    return None
+
+
+@register
+class CanonicalDimensions(Rule):
+    """CG007 — resource dimensions come from the canonical constants.
+
+    Indexing, comparing, or enumerating resource dimensions with ad-hoc
+    string literals (``vec["gpu"]``, ``dim == "cpu"``,
+    ``("cpu", "gpu", ...)``) silently diverges the moment a dimension is
+    added or renamed.  Use :data:`repro.platform_.resources.DIMENSIONS`
+    and the ``CPU``/``GPU``/``GPU_MEM``/``RAM`` index constants, which
+    exist precisely so there is one definition site.  Keyword/mapping
+    construction (``ResourceVector(cpu=35)``) is the sanctioned API and
+    is not flagged.
+    """
+
+    rule_id = "CG007"
+    name = "canonical-dimensions"
+    description = ("resource-dimension string literal; use "
+                   "platform_.resources.DIMENSIONS / index constants")
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        return not ctx.is_module("platform_", "resources.py")
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        dim = _dim_constant(node.slice)
+        if dim is not None:
+            self.report(node.slice, f"subscript by dimension literal {dim!r}; "
+                                    f"use the CPU/GPU/GPU_MEM/RAM constants")
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        for operand in [node.left, *node.comparators]:
+            dim = _dim_constant(operand)
+            if dim is not None:
+                self.report(operand, f"comparison against dimension literal "
+                                     f"{dim!r}; use the canonical constants")
+        self.generic_visit(node)
+
+    def _check_sequence(self, node: Union[ast.List, ast.Tuple, ast.Set]) -> None:
+        dims = [d for d in (_dim_constant(e) for e in node.elts) if d is not None]
+        if len(dims) >= 2:
+            self.report(node, "ad-hoc dimension sequence literal; use "
+                              "platform_.resources.DIMENSIONS")
+
+    def visit_List(self, node: ast.List) -> None:
+        self._check_sequence(node)
+        self.generic_visit(node)
+
+    def visit_Tuple(self, node: ast.Tuple) -> None:
+        self._check_sequence(node)
+        self.generic_visit(node)
+
+    def visit_Set(self, node: ast.Set) -> None:
+        self._check_sequence(node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if (dotted is not None and dotted.endswith(".index")
+                and len(node.args) == 1):
+            dim = _dim_constant(node.args[0])
+            if dim is not None:
+                self.report(node.args[0], f".index({dim!r}) on a dimension "
+                                          f"literal; use the index constants")
+        self.generic_visit(node)

@@ -14,7 +14,16 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["Node", "grow_tree", "predict_leaf_values", "tree_depth", "count_leaves", "feature_importances"]
+__all__ = [
+    "Node",
+    "grow_tree",
+    "predict_leaf_values",
+    "tree_depth",
+    "count_leaves",
+    "feature_importances",
+    "best_split_classification",
+    "best_split_regression",
+]
 
 
 @dataclass

@@ -8,13 +8,13 @@ keeps mispredicting.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.mlkit.base import ClassifierMixin, Estimator
 from repro.mlkit.tree import DecisionTreeClassifier
-from repro.util.rng import Seed, as_rng, spawn_rngs
+from repro.util.rng import Seed, spawn_rngs
 
 __all__ = ["RandomForestClassifier"]
 
@@ -52,7 +52,7 @@ class RandomForestClassifier(Estimator, ClassifierMixin):
         min_samples_split: int = 2,
         min_samples_leaf: int = 1,
         criterion: str = "gini",
-        max_features="sqrt",
+        max_features: Union[str, int, None] = "sqrt",
         bootstrap: bool = True,
         seed: Seed = None,
     ):
@@ -80,7 +80,7 @@ class RandomForestClassifier(Estimator, ClassifierMixin):
             return max(1, int(np.sqrt(n_features)))
         return min(int(self.max_features), n_features)
 
-    def fit(self, X, y) -> "RandomForestClassifier":
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         """Fit ``n_estimators`` trees on bootstrap replicates of ``(X, y)``."""
         X = self._coerce_X(X)
         y = self._coerce_y(y, X.shape[0])
@@ -112,7 +112,7 @@ class RandomForestClassifier(Estimator, ClassifierMixin):
         self._mark_fitted()
         return self
 
-    def predict_proba(self, X) -> np.ndarray:
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Forest-averaged class probabilities, shape ``(n, n_classes)``."""
         self._check_fitted()
         X = self._coerce_X(X)
@@ -130,7 +130,7 @@ class RandomForestClassifier(Estimator, ClassifierMixin):
         acc /= len(self.estimators_)
         return acc
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: np.ndarray) -> np.ndarray:
         """Majority-probability class for each row."""
         return self.classes_[self.predict_proba(X).argmax(axis=1)]
 

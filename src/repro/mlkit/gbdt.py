@@ -9,13 +9,12 @@ workloads it retains accuracy where DTC/RF drop (Fig 15).
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
 from repro.mlkit.base import ClassifierMixin, Estimator
 from repro.mlkit.regression_tree import DecisionTreeRegressor
-from repro.util.rng import Seed, as_rng, spawn_rngs
+from repro.util.rng import Seed, as_rng
 from repro.util.validation import check_fraction, check_positive
 
 __all__ = ["GradientBoostedClassifier"]
@@ -80,7 +79,7 @@ class GradientBoostedClassifier(Estimator, ClassifierMixin):
         self.subsample = float(subsample)
         self.seed = seed
 
-    def fit(self, X, y) -> "GradientBoostedClassifier":
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostedClassifier":
         """Boost ``n_estimators`` rounds on ``(X, y)``."""
         X = self._coerce_X(X)
         y = self._coerce_y(y, X.shape[0])
@@ -124,7 +123,7 @@ class GradientBoostedClassifier(Estimator, ClassifierMixin):
         self._mark_fitted()
         return self
 
-    def decision_function(self, X) -> np.ndarray:
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Raw additive scores (log-odds space), shape ``(n, n_classes)``."""
         self._check_fitted()
         X = self._coerce_X(X)
@@ -138,11 +137,11 @@ class GradientBoostedClassifier(Estimator, ClassifierMixin):
                 logits[:, c] += self.learning_rate * tree.predict(X)
         return logits
 
-    def predict_proba(self, X) -> np.ndarray:
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Softmax class probabilities."""
         return _softmax(self.decision_function(X))
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: np.ndarray) -> np.ndarray:
         """Highest-scoring class per row."""
         return self.classes_[self.decision_function(X).argmax(axis=1)]
 
@@ -153,7 +152,7 @@ class GradientBoostedClassifier(Estimator, ClassifierMixin):
         trees = [t for round_trees in self.estimators_ for t in round_trees]
         return np.mean([t.feature_importances_ for t in trees], axis=0)
 
-    def staged_accuracy(self, X, y) -> np.ndarray:
+    def staged_accuracy(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Accuracy after each boosting round (for learning curves)."""
         self._check_fitted()
         X = self._coerce_X(X)

@@ -16,7 +16,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.mlkit.base import Estimator, NotFittedError
+from repro.mlkit.base import Estimator
 from repro.util.rng import Seed, as_rng
 from repro.util.validation import check_positive
 
@@ -103,7 +103,7 @@ class KMeans(Estimator):
         self.seed = seed
 
     # ------------------------------------------------------------------
-    def fit(self, X) -> "KMeans":
+    def fit(self, X: np.ndarray) -> "KMeans":
         """Cluster the rows of ``X``."""
         X = self._coerce_X(X)
         n, d = X.shape
@@ -157,7 +157,7 @@ class KMeans(Estimator):
         return centers, labels, inertia, n_iter
 
     # ------------------------------------------------------------------
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: np.ndarray) -> np.ndarray:
         """Assign each row of ``X`` to its nearest fitted center."""
         self._check_fitted()
         X = self._coerce_X(X)
@@ -168,17 +168,17 @@ class KMeans(Estimator):
             )
         return _pairwise_sq_dists(X, self.cluster_centers_).argmin(axis=1)
 
-    def fit_predict(self, X) -> np.ndarray:
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
         """Fit and return the training labels."""
         return self.fit(X).labels_
 
-    def transform(self, X) -> np.ndarray:
+    def transform(self, X: np.ndarray) -> np.ndarray:
         """Euclidean distances to every center, shape ``(n, K)``."""
         self._check_fitted()
         X = self._coerce_X(X)
         return np.sqrt(_pairwise_sq_dists(X, self.cluster_centers_))
 
-    def score(self, X) -> float:
+    def score(self, X: np.ndarray) -> float:
         """Negative SSE of ``X`` under the fitted centers (higher is better)."""
         self._check_fitted()
         X = self._coerce_X(X)
@@ -187,7 +187,7 @@ class KMeans(Estimator):
 
 
 def sse_curve(
-    X, k_values: Sequence[int], *, seed: Seed = None, n_init: int = 8
+    X: np.ndarray, k_values: Sequence[int], *, seed: Seed = None, n_init: int = 8
 ) -> np.ndarray:
     """SSE (inertia) for each K in ``k_values`` — the paper's Fig-14 curve.
 

@@ -23,14 +23,14 @@ def _align(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
     return y_true, y_pred
 
 
-def accuracy_score(y_true, y_pred) -> float:
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
     """Fraction of exactly matching labels."""
     y_true, y_pred = _align(y_true, y_pred)
     return float(np.mean(y_true == y_pred))
 
 
 def confusion_matrix(
-    y_true, y_pred, labels: Optional[Sequence] = None
+    y_true: np.ndarray, y_pred: np.ndarray, labels: Optional[Sequence] = None
 ) -> np.ndarray:
     """Confusion matrix ``C[i, j]`` = #samples with true label ``labels[i]``
     predicted as ``labels[j]``.
@@ -54,7 +54,7 @@ def confusion_matrix(
     return out
 
 
-def macro_f1_score(y_true, y_pred) -> float:
+def macro_f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
     """Unweighted mean of per-class F1 scores.
 
     Classes absent from both prediction and truth contribute F1 = 0 only
@@ -72,7 +72,7 @@ def macro_f1_score(y_true, y_pred) -> float:
     return float(f1.mean())
 
 
-def sse(X, centers, labels) -> float:
+def sse(X: np.ndarray, centers: np.ndarray, labels: np.ndarray) -> float:
     """Sum of squared distances from each row of ``X`` to its assigned
     cluster center (K-means inertia; the y-axis of the paper's Fig 14)."""
     X = check_array_2d("X", X, dtype=float)
@@ -86,7 +86,7 @@ def sse(X, centers, labels) -> float:
     return float(np.einsum("ij,ij->", diff, diff))
 
 
-def silhouette_score(X, labels) -> float:
+def silhouette_score(X: np.ndarray, labels: np.ndarray) -> float:
     """Mean silhouette coefficient over all samples.
 
     For each sample, ``a`` is its mean distance to its own cluster's

@@ -7,7 +7,7 @@ the remaining 25 % (§V-D2); :func:`train_test_split` with
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Tuple
 
 import numpy as np
 

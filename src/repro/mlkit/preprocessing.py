@@ -112,7 +112,7 @@ class StandardScaler(Estimator):
     so the transform never divides by zero.
     """
 
-    def fit(self, X) -> "StandardScaler":
+    def fit(self, X: np.ndarray) -> "StandardScaler":
         """Learn per-column mean and scale."""
         X = check_array_2d("X", X, dtype=float)
         if X.shape[0] == 0:
@@ -123,7 +123,7 @@ class StandardScaler(Estimator):
         self._mark_fitted()
         return self
 
-    def transform(self, X) -> np.ndarray:
+    def transform(self, X: np.ndarray) -> np.ndarray:
         """Standardise columns."""
         self._check_fitted()
         X = check_array_2d("X", X, dtype=float)
@@ -133,11 +133,11 @@ class StandardScaler(Estimator):
             )
         return (X - self.mean_) / self.scale_
 
-    def fit_transform(self, X) -> np.ndarray:
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
         """Fit, then standardise."""
         return self.fit(X).transform(X)
 
-    def inverse_transform(self, X) -> np.ndarray:
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
         """Undo :meth:`transform`."""
         self._check_fitted()
         X = check_array_2d("X", X, dtype=float)

@@ -54,7 +54,7 @@ class DecisionTreeRegressor(Estimator):
         self.max_features = max_features
         self.seed = seed
 
-    def fit(self, X, y) -> "DecisionTreeRegressor":
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
         """Grow the tree on ``(X, y)`` with a continuous target ``y``."""
         X = self._coerce_X(X)
         y = self._coerce_y(y, X.shape[0]).astype(float)
@@ -90,7 +90,7 @@ class DecisionTreeRegressor(Estimator):
         self._mark_fitted()
         return self
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: np.ndarray) -> np.ndarray:
         """Predicted means, shape ``(n,)``."""
         self._check_fitted()
         X = self._coerce_X(X)
@@ -100,7 +100,7 @@ class DecisionTreeRegressor(Estimator):
             )
         return predict_leaf_values(self.root_, X).reshape(X.shape[0])
 
-    def score(self, X, y) -> float:
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Coefficient of determination R²."""
         y = np.asarray(y, dtype=float)
         pred = self.predict(X)

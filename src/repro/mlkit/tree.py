@@ -12,7 +12,6 @@ from typing import Optional
 import numpy as np
 
 from repro.mlkit._cart import (
-    Node,
     best_split_classification,
     count_leaves,
     feature_importances,
@@ -81,7 +80,7 @@ class DecisionTreeClassifier(Estimator, ClassifierMixin):
         self.seed = seed
 
     # ------------------------------------------------------------------
-    def fit(self, X, y) -> "DecisionTreeClassifier":
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
         """Grow the tree on ``(X, y)``; labels may be any hashable values."""
         X = self._coerce_X(X)
         y = self._coerce_y(y, X.shape[0])
@@ -124,7 +123,7 @@ class DecisionTreeClassifier(Estimator, ClassifierMixin):
         self._mark_fitted()
         return self
 
-    def predict_proba(self, X) -> np.ndarray:
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Class-probability estimates, shape ``(n, n_classes)``."""
         self._check_fitted()
         X = self._coerce_X(X)
@@ -134,7 +133,7 @@ class DecisionTreeClassifier(Estimator, ClassifierMixin):
             )
         return predict_leaf_values(self.root_, X)
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: np.ndarray) -> np.ndarray:
         """Most probable class for each row."""
         proba = self.predict_proba(X)  # raises NotFittedError when unfitted
         return self.classes_[proba.argmax(axis=1)]

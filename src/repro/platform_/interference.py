@@ -26,7 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping
 
-import numpy as np
 
 from repro.platform_.resources import ResourceVector
 from repro.util.validation import check_nonnegative, check_positive

@@ -16,8 +16,12 @@ with only the cluster centroids rescaled
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.platform_.resources import ResourceVector
+
+if TYPE_CHECKING:
+    import numpy as np
 from repro.util.validation import check_positive
 
 __all__ = ["PlatformProfile", "REFERENCE_PLATFORM", "WEAK_GPU_PLATFORM", "BIG_SERVER_PLATFORM"]
@@ -62,7 +66,7 @@ class PlatformProfile:
         """Demand of a game on this platform, clipped at 100 %."""
         return demand.scale(self.factors).clip(0.0, 100.0)
 
-    def scale_array(self, demands):
+    def scale_array(self, demands: "np.ndarray") -> "np.ndarray":
         """Vectorized :meth:`scale_demand` over an ``(n, 4)`` array."""
         import numpy as np
 

@@ -20,7 +20,7 @@ fraction-of-best FPS (the y-axis of Fig 13).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np

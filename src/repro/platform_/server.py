@@ -10,20 +10,12 @@ per-device.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
-from repro.platform_.resources import (
-    CPU,
-    DIMENSIONS,
-    GPU,
-    GPU_MEM,
-    N_DIMS,
-    RAM,
-    ResourceVector,
-)
+from repro.platform_.resources import CPU, GPU, ResourceVector
 from repro.util.validation import check_positive
 
 __all__ = ["GPUDevice", "Placement", "Server", "CapacityError"]

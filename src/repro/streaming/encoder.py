@@ -9,7 +9,6 @@ the scheduler and the latency budget consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from repro.util.validation import check_in, check_positive
 

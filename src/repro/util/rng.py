@@ -16,7 +16,7 @@ session never perturbs the samples drawn by its neighbours.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Optional, Union
 
 import numpy as np
 

@@ -7,7 +7,7 @@ argument, which keeps the individual modules terse.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence, Tuple
+from typing import Any, Iterable, Tuple
 
 import numpy as np
 

@@ -16,7 +16,7 @@ same telemetry noise).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -28,9 +28,9 @@ from repro.platform_.interference import InterferenceModel
 from repro.platform_.qos import FpsModel, QoSTracker
 from repro.platform_.server import GPUDevice, Server
 from repro.sim.telemetry import TelemetryRecorder
-from repro.util.rng import Seed, as_rng, derive_seed
+from repro.util.rng import Seed, derive_seed
 from repro.workloads.metrics import throughput_eq2
-from repro.workloads.requests import ContinuousBacklog, GameRequest
+from repro.workloads.requests import ContinuousBacklog
 
 __all__ = ["ExperimentResult", "ColocationExperiment"]
 

@@ -1,0 +1,497 @@
+"""Tests for the ``repro.lint`` invariant checker (rules CG001–CG007)."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    UnknownRuleError,
+    all_rules,
+    lint_paths,
+    render_json,
+    render_text,
+    resolve_rules,
+)
+from repro.lint.__main__ import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint_source(tmp_path, rel, source, *, select=None, ignore=None):
+    """Write ``source`` at ``tmp_path/rel`` and lint the tree."""
+    file = tmp_path / rel
+    file.parent.mkdir(parents=True, exist_ok=True)
+    file.write_text(textwrap.dedent(source))
+    return lint_paths([tmp_path], select=select, ignore=ignore)
+
+
+def rule_ids(result):
+    return [f.rule_id for f in result.findings]
+
+
+# ----------------------------------------------------------------------
+# CG001 — no global randomness
+# ----------------------------------------------------------------------
+
+class TestCG001:
+    def test_flags_np_random_call(self, tmp_path):
+        result = lint_source(tmp_path, "games/gen.py", """\
+            import numpy as np
+
+            def roll():
+                return np.random.uniform(0, 1)
+            """, select=["CG001"])
+        assert rule_ids(result) == ["CG001"]
+        assert result.findings[0].line == 4
+
+    def test_flags_stdlib_random_call_and_import(self, tmp_path):
+        result = lint_source(tmp_path, "games/gen.py", """\
+            import random
+            from random import randint
+
+            def roll():
+                return random.random()
+            """, select=["CG001"])
+        assert rule_ids(result) == ["CG001", "CG001"]
+
+    def test_allows_seeded_constructors_and_rng_module(self, tmp_path):
+        # default_rng / Generator construction is deterministic; and the
+        # rule never applies inside util/rng.py itself.
+        clean = lint_source(tmp_path, "games/gen.py", """\
+            import numpy as np
+
+            def make(seed):
+                rng = np.random.default_rng(seed)
+                return rng.uniform(0, 1)
+            """, select=["CG001"])
+        assert clean.ok
+        exempt = lint_source(tmp_path, "util/rng.py", """\
+            import numpy as np
+
+            def helper():
+                return np.random.rand(3)
+            """, select=["CG001"])
+        assert exempt.ok
+
+    def test_flags_numpy_random_alias(self, tmp_path):
+        result = lint_source(tmp_path, "games/gen.py", """\
+            import numpy.random as npr
+
+            def roll():
+                return npr.shuffle([1, 2])
+            """, select=["CG001"])
+        assert rule_ids(result) == ["CG001"]
+
+
+# ----------------------------------------------------------------------
+# CG002 — no mutable defaults
+# ----------------------------------------------------------------------
+
+class TestCG002:
+    def test_flags_mutable_defaults(self, tmp_path):
+        result = lint_source(tmp_path, "mod.py", """\
+            def f(xs=[], mapping={}, tags=set(), q=dict()):
+                return xs, mapping, tags, q
+            """, select=["CG002"])
+        assert rule_ids(result) == ["CG002"] * 4
+
+    def test_flags_kwonly_and_lambda(self, tmp_path):
+        result = lint_source(tmp_path, "mod.py", """\
+            def f(*, xs=[]):
+                return xs
+
+            g = lambda acc=[]: acc
+            """, select=["CG002"])
+        assert len(result.findings) == 2
+
+    def test_allows_immutable_defaults(self, tmp_path):
+        result = lint_source(tmp_path, "mod.py", """\
+            def f(xs=None, pair=(), name="x", n=0):
+                return xs, pair, name, n
+            """, select=["CG002"])
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
+# CG003 — public functions typed in core/mlkit/platform_
+# ----------------------------------------------------------------------
+
+class TestCG003:
+    BAD = """\
+        class Thing:
+            def compute(self, x):
+                return x
+
+        def helper(y):
+            return y
+        """
+
+    def test_flags_unannotated_public_api(self, tmp_path):
+        result = lint_source(tmp_path, "core/mod.py", self.BAD, select=["CG003"])
+        # compute: params + return; helper: params + return.
+        assert rule_ids(result) == ["CG003"] * 4
+
+    def test_out_of_scope_package_is_ignored(self, tmp_path):
+        result = lint_source(tmp_path, "games/mod.py", self.BAD, select=["CG003"])
+        assert result.ok
+
+    def test_annotated_and_private_pass(self, tmp_path):
+        result = lint_source(tmp_path, "mlkit/mod.py", """\
+            class Model:
+                def fit(self, X: list) -> "Model":
+                    return self
+
+                def _impl(self, X):
+                    return X
+
+            def _private(y):
+                return y
+            """, select=["CG003"])
+        assert result.ok
+
+    def test_init_requires_param_annotations_only(self, tmp_path):
+        result = lint_source(tmp_path, "platform_/mod.py", """\
+            class Box:
+                def __init__(self, size):
+                    self.size = size
+            """, select=["CG003"])
+        assert rule_ids(result) == ["CG003"]
+        assert "unannotated parameter" in result.findings[0].message
+
+
+# ----------------------------------------------------------------------
+# CG004 — __all__ consistency
+# ----------------------------------------------------------------------
+
+class TestCG004:
+    def test_flags_nonexistent_export_and_missing_def(self, tmp_path):
+        result = lint_source(tmp_path, "mod.py", """\
+            __all__ = ["ghost"]
+
+            def visible():
+                return 1
+            """, select=["CG004"])
+        messages = sorted(f.message for f in result.findings)
+        assert len(messages) == 2
+        assert "'ghost' which is not defined" in messages[0]
+        assert "'visible' missing from __all__" in messages[1]
+
+    def test_flags_module_without_dunder_all(self, tmp_path):
+        result = lint_source(tmp_path, "mod.py", """\
+            def visible():
+                return 1
+            """, select=["CG004"])
+        assert rule_ids(result) == ["CG004"]
+
+    def test_consistent_module_passes(self, tmp_path):
+        result = lint_source(tmp_path, "mod.py", """\
+            __all__ = ["visible", "CONST"]
+
+            CONST = 3
+
+            def visible():
+                return _hidden()
+
+            def _hidden():
+                return 1
+
+            __all__.append("Late")
+
+            class Late:
+                pass
+            """, select=["CG004"])
+        assert result.ok
+
+    def test_dynamic_dunder_all_is_skipped(self, tmp_path):
+        result = lint_source(tmp_path, "mod.py", """\
+            _names = ["a", "b"]
+            __all__ = list(_names)
+
+            def visible():
+                return 1
+            """, select=["CG004"])
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
+# CG005 — no wall clock in sim/
+# ----------------------------------------------------------------------
+
+class TestCG005:
+    def test_flags_wall_clock_in_sim(self, tmp_path):
+        result = lint_source(tmp_path, "sim/mod.py", """\
+            import time
+            from datetime import datetime
+
+            def stamp():
+                return time.time(), datetime.now()
+            """, select=["CG005"])
+        assert rule_ids(result) == ["CG005"] * 2
+
+    def test_flags_from_time_import(self, tmp_path):
+        result = lint_source(tmp_path, "sim/mod.py", """\
+            from time import perf_counter
+            """, select=["CG005"])
+        assert rule_ids(result) == ["CG005"]
+
+    def test_wall_clock_outside_sim_allowed(self, tmp_path):
+        result = lint_source(tmp_path, "workloads/mod.py", """\
+            import time
+
+            def stamp():
+                return time.time()
+            """, select=["CG005"])
+        assert result.ok
+
+    def test_engine_clock_calls_pass(self, tmp_path):
+        result = lint_source(tmp_path, "sim/mod.py", """\
+            def advance(engine):
+                return engine.clock.time()
+            """, select=["CG005"])
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
+# CG006 — exception hygiene
+# ----------------------------------------------------------------------
+
+class TestCG006:
+    def test_flags_bare_except_anywhere(self, tmp_path):
+        result = lint_source(tmp_path, "analysis/mod.py", """\
+            def f():
+                try:
+                    return 1
+                except:
+                    return 0
+            """, select=["CG006"])
+        assert rule_ids(result) == ["CG006"]
+
+    def test_flags_swallowed_exception_on_scheduler_path(self, tmp_path):
+        result = lint_source(tmp_path, "core/scheduler.py", """\
+            def f():
+                try:
+                    return 1
+                except Exception:
+                    pass
+            """, select=["CG006"])
+        assert rule_ids(result) == ["CG006"]
+        assert "swallowed" in result.findings[0].message
+
+    def test_swallow_outside_control_path_allowed(self, tmp_path):
+        result = lint_source(tmp_path, "analysis/mod.py", """\
+            def f():
+                try:
+                    return 1
+                except Exception:
+                    pass
+            """, select=["CG006"])
+        assert result.ok
+
+    def test_handled_exception_passes(self, tmp_path):
+        result = lint_source(tmp_path, "core/distributor.py", """\
+            def f(log):
+                try:
+                    return 1
+                except Exception as exc:
+                    log.warning("placement failed: %s", exc)
+                    raise
+            """, select=["CG006"])
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
+# CG007 — canonical dimension constants
+# ----------------------------------------------------------------------
+
+class TestCG007:
+    def test_flags_ad_hoc_dimension_strings(self, tmp_path):
+        result = lint_source(tmp_path, "workloads/mod.py", """\
+            def f(vec, dim):
+                usage = vec["gpu"]
+                if dim == "cpu":
+                    usage += 1
+                order = ("cpu", "gpu", "gpu_mem", "ram")
+                return usage, order
+            """, select=["CG007"])
+        assert rule_ids(result) == ["CG007"] * 3
+
+    def test_resources_module_is_exempt(self, tmp_path):
+        result = lint_source(tmp_path, "platform_/resources.py", """\
+            DIMENSIONS = ("cpu", "gpu", "gpu_mem", "ram")
+            """, select=["CG007"])
+        assert result.ok
+
+    def test_keyword_and_mapping_construction_pass(self, tmp_path):
+        result = lint_source(tmp_path, "workloads/mod.py", """\
+            def f(make):
+                vec = make(cpu=35.0, gpu=60.0)
+                by_name = {"cpu": 35.0, "gpu": 60.0}
+                return vec, by_name
+            """, select=["CG007"])
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
+# Pragmas
+# ----------------------------------------------------------------------
+
+class TestPragmas:
+    def test_trailing_pragma_suppresses_line_only(self, tmp_path):
+        result = lint_source(tmp_path, "mod.py", """\
+            def f(xs=[]):  # lint: disable=CG002
+                return xs
+
+            def g(ys=[]):
+                return ys
+            """, select=["CG002"])
+        assert len(result.findings) == 1
+        assert result.findings[0].line == 4
+
+    def test_standalone_pragma_suppresses_whole_file(self, tmp_path):
+        result = lint_source(tmp_path, "mod.py", """\
+            # lint: disable=CG002
+
+            def f(xs=[]):
+                return xs
+
+            def g(ys=[]):
+                return ys
+            """, select=["CG002"])
+        assert result.ok
+
+    def test_pragma_does_not_suppress_other_rules(self, tmp_path):
+        result = lint_source(tmp_path, "mod.py", """\
+            import numpy as np
+
+            def f(xs=[]):  # lint: disable=CG001
+                return np.random.rand(), xs
+            """, select=["CG001", "CG002"])
+        # CG002 still fires on the def line; CG001 fires on line 4
+        # (the call), outside the pragma's line.
+        assert sorted(rule_ids(result)) == ["CG001", "CG002"]
+
+    def test_bare_disable_suppresses_all_rules_on_line(self, tmp_path):
+        result = lint_source(tmp_path, "mod.py", """\
+            def f(xs=[], ys={}):  # lint: disable
+                return xs, ys
+            """, select=["CG002"])
+        assert result.ok
+
+    def test_pragma_inside_string_is_not_a_pragma(self, tmp_path):
+        result = lint_source(tmp_path, "mod.py", """\
+            def f(xs=[]):
+                return "# lint: disable=CG002"
+            """, select=["CG002"])
+        assert rule_ids(result) == ["CG002"]
+
+
+# ----------------------------------------------------------------------
+# Engine, registry, reporters, CLI
+# ----------------------------------------------------------------------
+
+class TestEngine:
+    def test_syntax_error_reported_as_cg000(self, tmp_path):
+        result = lint_source(tmp_path, "mod.py", "def broken(:\n")
+        assert rule_ids(result) == ["CG000"]
+        assert "does not parse" in result.findings[0].message
+
+    def test_findings_sorted_and_ordered(self, tmp_path):
+        result = lint_source(tmp_path, "mod.py", """\
+            def g(ys={}):
+                return ys
+
+            def f(xs=[]):
+                return xs
+            """, select=["CG002"])
+        assert [f.line for f in result.findings] == [1, 4]
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(UnknownRuleError):
+            resolve_rules(select=["CG999"])
+        with pytest.raises(UnknownRuleError):
+            resolve_rules(ignore=["bogus"])
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths(["/nonexistent/definitely/missing"])
+
+    def test_registry_has_all_seven_rules(self):
+        assert sorted(all_rules()) == [
+            "CG001", "CG002", "CG003", "CG004", "CG005", "CG006", "CG007",
+        ]
+
+
+class TestReporters:
+    def _result(self, tmp_path):
+        return lint_source(tmp_path, "mod.py", "def f(xs=[]):\n    return xs\n",
+                           select=["CG002"])
+
+    def test_text_report_format(self, tmp_path):
+        text = render_text(self._result(tmp_path))
+        assert ":1:" in text and "CG002" in text
+        assert text.endswith("1 finding in 1 file(s) checked")
+
+    def test_json_report_is_machine_readable(self, tmp_path):
+        payload = json.loads(render_json(self._result(tmp_path)))
+        assert payload["count"] == 1
+        assert payload["files_checked"] == 1
+        finding = payload["findings"][0]
+        assert finding["rule"] == "CG002"
+        assert finding["line"] == 1
+
+    def test_finding_format_is_grep_friendly(self):
+        finding = Finding(path="a.py", line=3, col=7,
+                          rule_id="CG001", message="boom")
+        assert finding.format() == "a.py:3:7: CG001 boom"
+
+
+class TestCLI:
+    def test_main_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text("def f(xs=[]):\n    return xs\n")
+        assert lint_main([str(tmp_path)]) == 1
+        assert lint_main([str(tmp_path), "--select", "CG005"]) == 0
+        assert lint_main([str(tmp_path), "--select", "CG999"]) == 2
+        assert lint_main([str(tmp_path), "--select", ""]) == 2
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("CG001", "CG007"):
+            assert rule_id in out
+
+    def test_json_output(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text("def f(xs=[]):\n    return xs\n")
+        lint_main([str(tmp_path), "--format", "json", "--select", "CG002"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+
+    def test_cocg_lint_subcommand(self, tmp_path, capsys):
+        from repro.cli import main as cocg_main
+
+        bad = tmp_path / "mod.py"
+        bad.write_text("def f(xs=[]):\n    return xs\n")
+        assert cocg_main(["lint", str(tmp_path)]) == 1
+        assert cocg_main(["lint", str(tmp_path), "--format", "json"]) == 1
+        capsys.readouterr()
+
+
+class TestShippedTree:
+    def test_src_tree_is_clean(self):
+        """The shipped source tree passes its own invariant checker."""
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "src"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            env={**__import__("os").environ,
+                 "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
