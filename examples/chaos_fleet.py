@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Chaos engineering on a CoCG fleet: faults in, QoS delta out.
+
+Runs the same two-node fleet experiment twice from identical seeds —
+once fault-free, once under a :class:`repro.faults.FaultPlan` that
+crashes a node mid-run (sessions requeue through the cluster's bounded
+backoff queue), drops 1 % of telemetry samples, and breaks the stage
+predictor's backend for a stretch (the circuit breaker degrades those
+sessions to reactive allocation) — then prints the QoS/violation delta.
+
+With ``--check-determinism`` the faulted run executes twice and the
+script exits non-zero unless both runs produce byte-identical telemetry
+digests — the replay guarantee ``docs/FAULTS.md`` documents and the CI
+chaos job enforces.
+
+Run:  python examples/chaos_fleet.py [--check-determinism]
+"""
+
+import argparse
+import sys
+
+from repro import CoCGStrategy, GameProfile, build_catalog
+from repro.cluster import ClusterScheduler, FleetExperiment, FleetNode
+from repro.faults import FaultPlan, run_chaos
+
+HORIZON = 900
+SEED = 7
+RATE = 2.0
+GAMES = ("contra", "dota2")
+
+
+def make_plan() -> FaultPlan:
+    """One node crash with recovery, background dropout, model outage."""
+    return (
+        FaultPlan(seed=SEED)
+        .node_crash(HORIZON / 3, "node-1", recover_after=HORIZON / 6)
+        .telemetry_dropout(0.0, duration=float(HORIZON), rate=0.01)
+        .predictor_failure(HORIZON / 4, recover_after=HORIZON / 4)
+    )
+
+
+def build_profiles() -> dict:
+    catalog = build_catalog()
+    print(f"Profiling {', '.join(GAMES)}…")
+    return {
+        name: GameProfile.build(
+            catalog[name], n_players=4, sessions_per_player=3, seed=SEED
+        )
+        for name in GAMES
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="run the faulted experiment twice and require identical "
+             "telemetry digests (exit 1 otherwise)",
+    )
+    args = parser.parse_args()
+
+    catalog = build_catalog()
+    profiles = build_profiles()
+    specs = [catalog[name] for name in GAMES]
+
+    def make_cluster() -> ClusterScheduler:
+        nodes = [
+            FleetNode(f"node-{i}", CoCGStrategy(), profiles, seed=SEED + i)
+            for i in range(2)
+        ]
+        return ClusterScheduler(nodes, policy="round-robin")
+
+    if args.check_determinism:
+        digests = []
+        for attempt in (1, 2):
+            result = FleetExperiment(
+                make_cluster(), specs,
+                horizon=HORIZON, rate_per_minute=RATE, seed=SEED,
+                fault_plan=make_plan(),
+            ).run()
+            digests.append(result.telemetry_digest)
+            print(f"faulted run {attempt}: digest {result.telemetry_digest}")
+        if digests[0] != digests[1]:
+            print("FAIL: telemetry digests differ between identical replays")
+            return 1
+        print("OK: fault replay is deterministic (digests identical)")
+        return 0
+
+    report = run_chaos(
+        make_cluster, specs,
+        plan=make_plan(), horizon=HORIZON, rate_per_minute=RATE, seed=SEED,
+    )
+    print()
+    for line in report.summary_lines():
+        print(line)
+    if report.faulted.dead_letters:
+        print("\ndead-lettered requests:")
+        for dead in report.faulted.dead_letters:
+            print(
+                f"  {dead.request.spec.name} r{dead.request.request_id}: "
+                f"{dead.reason} after {dead.attempts} attempts (t={dead.time:.0f}s)"
+            )
+    print(f"\ntelemetry digest (faulted): {report.faulted.telemetry_digest}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

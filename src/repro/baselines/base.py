@@ -10,7 +10,7 @@ capacity conservation is enforced uniformly across strategies.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.core.pipeline import GameProfile
 from repro.games.session import GameSession
@@ -74,6 +74,14 @@ class SchedulingStrategy(ABC):
     def allocation_of(self, session_id: str) -> ResourceVector:
         """Current ceiling of a hosted session."""
         return self._require_attached().allocation_of(session_id)
+
+    def degraded_sessions(self) -> Sequence[str]:
+        """Sessions running in degraded (fault-fallback) mode.
+
+        Static strategies have no degraded mode; CoCG reports sessions
+        whose predictor circuit breaker is open.
+        """
+        return ()
 
     def order_requests(self, pending: list) -> list:
         """Order pending requests before admission attempts.

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.baselines.base import SchedulingStrategy
 from repro.core.pipeline import GameProfile
@@ -61,6 +61,10 @@ class CoCGStrategy(SchedulingStrategy):
     def control(self, time: float, telemetry: TelemetryRecorder) -> None:
         """Run the 5-second CoCG control cycle."""
         self._require_scheduler().control(time, telemetry)
+
+    def degraded_sessions(self) -> Sequence[str]:
+        """Sessions whose predictor circuit breaker is open."""
+        return self._require_scheduler().degraded_sessions()
 
     def order_requests(self, pending: list) -> list:
         """§IV-C2 "distinguish game length": prefer a short game when the

@@ -10,8 +10,10 @@ Four subcommands cover the operator workflow the paper describes:
   chosen strategy and print throughput/QoS;
 * ``cocg fleet GAME [GAME …]`` — dispatch Poisson arrivals over a small
   heterogeneous fleet;
+* ``cocg chaos GAME [GAME …]`` — the fleet experiment under an injected
+  fault plan, reported against the fault-free run (``docs/FAULTS.md``);
 * ``cocg lint [PATH …]`` — run the CoCG invariant checker
-  (:mod:`repro.lint`, rules CG001–CG007) over the codebase.
+  (:mod:`repro.lint`, rules CG001–CG008) over the codebase.
 
 Run ``python -m repro.cli --help`` (or the installed ``cocg`` script).
 """
@@ -31,6 +33,7 @@ __all__ = [
     "cmd_profile",
     "cmd_colocate",
     "cmd_fleet",
+    "cmd_chaos",
     "cmd_lint",
 ]
 
@@ -204,6 +207,52 @@ def cmd_fleet(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """``cocg chaos``: the fleet run with vs. without injected faults."""
+    import json
+    from pathlib import Path
+
+    from repro.cluster import ClusterScheduler, FleetNode
+    from repro.faults import FaultPlan, default_plan, run_chaos
+    from repro.games.catalog import build_catalog
+
+    catalog = build_catalog()
+    profiles = _load_or_build_profiles(args.games, args)
+    if args.plan:
+        plan = FaultPlan.from_dict(json.loads(Path(args.plan).read_text()))
+        print(f"loaded fault plan: {args.plan} ({len(plan)} faults)")
+    else:
+        plan = default_plan(
+            args.horizon, seed=args.seed, crash_node=f"node-{args.nodes - 1}"
+        )
+
+    def make_cluster() -> ClusterScheduler:
+        nodes = [
+            FleetNode(
+                f"node-{i}",
+                _make_strategy(args.strategy),
+                profiles,
+                seed=args.seed + i,
+            )
+            for i in range(args.nodes)
+        ]
+        return ClusterScheduler(nodes, policy=args.policy)
+
+    report = run_chaos(
+        make_cluster,
+        [catalog[g] for g in args.games],
+        plan=plan,
+        horizon=args.horizon,
+        rate_per_minute=args.rate,
+        seed=args.seed,
+    )
+    print()
+    for line in report.summary_lines():
+        print(line)
+    print(f"\ntelemetry digest (faulted): {report.faulted.telemetry_digest}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     """``cocg lint``: run the invariant checker (exit 1 on findings)."""
     from repro.lint.__main__ import run_from_args
@@ -259,10 +308,27 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--profiles-dir", help="cache profiles here")
     f.set_defaults(func=cmd_fleet)
 
+    ch = sub.add_parser(
+        "chaos", help="fleet experiment under an injected fault plan"
+    )
+    ch.add_argument("games", nargs="+")
+    ch.add_argument("--nodes", type=int, default=2)
+    ch.add_argument("--policy", choices=("first-fit", "best-fit", "round-robin"),
+                    default="round-robin")
+    ch.add_argument("--strategy", choices=_STRATEGIES, default="cocg")
+    ch.add_argument("--plan", help="fault-plan JSON file (default: demo plan)")
+    ch.add_argument("--rate", type=float, default=2.0, help="arrivals per minute")
+    ch.add_argument("--horizon", type=int, default=900)
+    ch.add_argument("--seed", type=int, default=0)
+    ch.add_argument("--players", type=int, default=4)
+    ch.add_argument("--sessions", type=int, default=3)
+    ch.add_argument("--profiles-dir", help="cache profiles here")
+    ch.set_defaults(func=cmd_chaos)
+
     from repro.lint.__main__ import configure_parser as _configure_lint_parser
 
     lint = sub.add_parser(
-        "lint", help="check CoCG invariants (rules CG001-CG007)"
+        "lint", help="check CoCG invariants (rules CG001-CG008)"
     )
     _configure_lint_parser(lint)
     lint.set_defaults(func=cmd_lint)

@@ -14,10 +14,30 @@ rescale.
   round-robin); once placed, a game never migrates (cloud games cannot
   be migrated or stopped, §I).
 * :class:`~repro.cluster.experiment.FleetExperiment` — the fleet-scale
-  driver over Poisson arrivals.
+  driver over Poisson arrivals, optionally replaying a
+  :class:`~repro.faults.plan.FaultPlan`.
+
+Resilience surface: nodes carry a :class:`~repro.cluster.fleet.NodeHealth`
+state consulted by every dispatch policy, rejected requests retry with
+exponential backoff in a bounded queue, and exhausted retries land in
+:class:`~repro.cluster.fleet.DeadLetter` records.
 """
 
-from repro.cluster.fleet import ClusterScheduler, FleetNode
+from repro.cluster.fleet import (
+    ClusterScheduler,
+    DeadLetter,
+    FleetNode,
+    NodeHealth,
+    PendingRequest,
+)
 from repro.cluster.experiment import FleetExperiment, FleetResult
 
-__all__ = ["FleetNode", "ClusterScheduler", "FleetExperiment", "FleetResult"]
+__all__ = [
+    "FleetNode",
+    "ClusterScheduler",
+    "NodeHealth",
+    "DeadLetter",
+    "PendingRequest",
+    "FleetExperiment",
+    "FleetResult",
+]

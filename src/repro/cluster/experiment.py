@@ -1,24 +1,43 @@
 """Fleet-scale experiment driver: Poisson arrivals over a cluster.
 
 Open-loop requests arrive at the cluster scheduler; rejected requests
-wait in a queue and are retried every detection interval ("the selected
-game will continuously run requests until the distributor passes").
+wait in its bounded retry queue with exponential backoff ("the selected
+game will continuously run requests until the distributor passes") until
+they start or dead-letter.
+
+The run is driven by a :class:`~repro.sim.engine.SimulationEngine`, so a
+:class:`~repro.faults.plan.FaultPlan` can be replayed into it: fault
+events fire first at their scheduled second, then control, then
+dispatch, then the per-second tick — the same observable ordering as the
+original plain loop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.cluster.fleet import ClusterScheduler
+from repro.cluster.fleet import ClusterScheduler, DeadLetter
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.games.spec import GameSpec
+from repro.sim.engine import SimulationEngine
 from repro.util.rng import Seed, derive_seed
 from repro.workloads.metrics import throughput_eq2
 from repro.workloads.requests import GameRequest, PoissonArrivals
 
 __all__ = ["FleetResult", "FleetExperiment"]
+
+# Same-second event ordering (lower = earlier): faults are visible to
+# everything else at that second; control precedes dispatch precedes the
+# tick, matching the original sequential loop.
+_PRIO_SUBMIT = -30
+_PRIO_CONTROL = -20
+_PRIO_PUMP = -10
+_PRIO_TICK = 10
 
 
 @dataclass
@@ -43,6 +62,19 @@ class FleetResult:
         Dispatch attempts that found no willing node.
     mean_wait_seconds:
         Mean time a *served* request waited between arrival and start.
+    violation_fraction:
+        Fleet-wide fraction of session-seconds below the QoS floor.
+    degraded_seconds:
+        Session-seconds spent under degraded (open-breaker) control.
+    dead_letters:
+        Requests the cluster gave up on.
+    requeues / evictions:
+        Crash-displaced requests requeued / sessions killed by faults.
+    fault_events:
+        Human-readable log of faults applied during the run.
+    telemetry_digest:
+        SHA-256 over every node's telemetry — byte-identical across
+        replays of the same seeds and fault plan.
     """
 
     completed_runs: Dict[str, int]
@@ -53,6 +85,13 @@ class FleetResult:
     waiting: int
     deferrals: int
     mean_wait_seconds: float
+    violation_fraction: float = 0.0
+    degraded_seconds: int = 0
+    dead_letters: List[DeadLetter] = field(default_factory=list)
+    requeues: int = 0
+    evictions: int = 0
+    fault_events: List[str] = field(default_factory=list)
+    telemetry_digest: str = ""
 
 
 class FleetExperiment:
@@ -72,6 +111,8 @@ class FleetExperiment:
         Arrival/session randomness.
     detect_interval:
         Control/retry period.
+    fault_plan:
+        Optional fault schedule replayed into the run.
     """
 
     def __init__(
@@ -83,6 +124,7 @@ class FleetExperiment:
         rate_per_minute: float = 1.0,
         seed: Seed = 0,
         detect_interval: int = 5,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if horizon < 1:
             raise ValueError(f"horizon must be >= 1, got {horizon}")
@@ -92,6 +134,7 @@ class FleetExperiment:
         self.specs = list(specs)
         self.horizon = int(horizon)
         self.detect_interval = int(detect_interval)
+        self.fault_plan = fault_plan
         self._base_seed = seed if isinstance(seed, int) or seed is None else 0
         self.arrivals = PoissonArrivals(
             self.specs,
@@ -99,39 +142,57 @@ class FleetExperiment:
             seed=derive_seed(self._base_seed, "arrivals"),
             horizon=float(horizon),
         )
+        # Renumber requests to experiment-local ids: the global request
+        # counter would otherwise leak between runs in one process, and
+        # session ids (hence telemetry digests) would stop replaying.
+        for i, request in enumerate(self.arrivals.requests):
+            request.request_id = i
 
     # ------------------------------------------------------------------
+    def _session_seed(self, request: GameRequest, incarnation: int) -> int:
+        return derive_seed(
+            self._base_seed, "s", str(request.request_id), str(incarnation)
+        )
+
     def run(self) -> FleetResult:
         """Execute the run and aggregate fleet-wide results."""
-        waiting: List[GameRequest] = []
+        engine = SimulationEngine()
         started_waits: List[float] = []
-        session_seed = 0
+        injector: Optional[FaultInjector] = None
+        if self.fault_plan is not None and len(self.fault_plan):
+            injector = FaultInjector(self.fault_plan, self.cluster, engine)
+            injector.arm()
 
+        for request in self.arrivals.requests:
+            t_sub = min(int(request.arrival), self.horizon - 1)
+
+            def submit(engine, request=request):
+                self.cluster.submit(request, time=engine.now)
+
+            engine.at(float(t_sub), submit, priority=_PRIO_SUBMIT)
+
+        def pump(engine) -> None:
+            for request in self.cluster.pump(engine.now, self._session_seed):
+                started_waits.append(max(0.0, engine.now - request.arrival))
+
+        for t in range(0, self.horizon, self.detect_interval):
+            engine.at(float(t), pump, priority=_PRIO_PUMP)
         for t in range(self.horizon):
-            waiting.extend(self.arrivals.due(float(t), float(t + 1)))
-            if t % self.detect_interval == 0:
-                still: List[GameRequest] = []
-                for request in waiting:
-                    session_seed += 1
-                    node = self.cluster.dispatch(
-                        request,
-                        time=float(t),
-                        seed=derive_seed(self._base_seed, "s", str(session_seed)),
-                    )
-                    if node is None:
-                        still.append(request)
-                    else:
-                        started_waits.append(t - request.arrival)
-                waiting = still
-            self.cluster.tick(t)
-            if (t + 1) % self.detect_interval == 0:
-                self.cluster.control(float(t + 1))
+            engine.at(float(t), lambda e, t=t: self.cluster.tick(t),
+                      priority=_PRIO_TICK)
+        for c in range(self.detect_interval, self.horizon + 1,
+                       self.detect_interval):
+            engine.at(float(c), lambda e: self.cluster.control(e.now),
+                      priority=_PRIO_CONTROL)
 
-        return self._aggregate(waiting, started_waits)
+        engine.run_until(float(self.horizon))
+        return self._aggregate(started_waits, injector)
 
     # ------------------------------------------------------------------
     def _aggregate(
-        self, waiting: List[GameRequest], started_waits: List[float]
+        self,
+        started_waits: List[float],
+        injector: Optional[FaultInjector],
     ) -> FleetResult:
         completed = self.cluster.completed_runs()
         durations = {spec.name: spec.expected_duration() for spec in self.specs}
@@ -141,13 +202,20 @@ class FleetExperiment:
         per_node_mean_gpu = {}
         fob_num = 0.0
         fob_den = 0
-        for node in self.cluster.nodes:
+        violation_num = 0
+        degraded = 0
+        digest = hashlib.sha256()
+        for node in sorted(self.cluster.nodes, key=lambda n: n.node_id):
             total = node.telemetry.total_usage_matrix(self.horizon)
             per_node_mean_gpu[node.node_id] = float(total[:, 1].mean())
             for sid in node.qos.session_ids:
                 report = node.qos.report(sid)
                 fob_num += report.fraction_of_best * report.seconds
                 fob_den += report.seconds
+                violation_num += report.violation_seconds
+            degraded += node.qos.total_degraded_seconds()
+            digest.update(f"{node.node_id}:{node.telemetry.digest()}\n".encode())
+        fault_log = list(injector.applied) if injector is not None else []
         return FleetResult(
             completed_runs=completed,
             throughput=throughput_eq2(
@@ -156,9 +224,18 @@ class FleetExperiment:
             per_node_completed=per_node_completed,
             per_node_mean_gpu=per_node_mean_gpu,
             fraction_of_best=fob_num / fob_den if fob_den else float("nan"),
-            waiting=len(waiting),
+            waiting=self.cluster.queue_depth,
             deferrals=self.cluster.deferred,
             mean_wait_seconds=(
                 float(np.mean(started_waits)) if started_waits else 0.0
             ),
+            violation_fraction=(
+                violation_num / fob_den if fob_den else 0.0
+            ),
+            degraded_seconds=degraded,
+            dead_letters=list(self.cluster.dead_letters),
+            requeues=self.cluster.requeues,
+            evictions=self.cluster.evictions,
+            fault_events=fault_log,
+            telemetry_digest=digest.hexdigest(),
         )

@@ -19,7 +19,9 @@ migrated, §I), so the dispatch policy is the only fleet-level decision:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 from repro.baselines.base import SchedulingStrategy
@@ -34,7 +36,50 @@ from repro.util.rng import Seed, derive_seed
 from repro.util.validation import check_in
 from repro.workloads.requests import GameRequest
 
-__all__ = ["FleetNode", "ClusterScheduler"]
+__all__ = [
+    "NodeHealth",
+    "DeadLetter",
+    "PendingRequest",
+    "FleetNode",
+    "ClusterScheduler",
+]
+
+
+class NodeHealth(Enum):
+    """Dispatch-visible node state.
+
+    ``up`` admits and runs; ``draining`` keeps its sessions but admits
+    nothing; ``down`` has lost capacity and sessions alike.
+    """
+
+    UP = "up"
+    DRAINING = "draining"
+    DOWN = "down"
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A request the cluster gave up on (with why and when)."""
+
+    request: GameRequest
+    time: float
+    attempts: int
+    reason: str
+
+
+@dataclass
+class PendingRequest:
+    """A queued request with its retry state.
+
+    ``attempts`` counts failed dispatch rounds; ``incarnation`` counts
+    crash-requeues (it suffixes the session id so a restarted run never
+    collides with its dead predecessor's telemetry).
+    """
+
+    request: GameRequest
+    attempts: int = 0
+    incarnation: int = 0
+    next_try: float = 0.0
 
 
 class FleetNode:
@@ -87,27 +132,46 @@ class FleetNode:
         self.telemetry = TelemetryRecorder(seed=derive_seed(seed, "tel", node_id))
         self.qos = QoSTracker()
         self.sessions: Dict[str, GameSession] = {}
+        self.requests: Dict[str, GameRequest] = {}
         self.completed: Dict[str, int] = {}
+        self.health = NodeHealth.UP
 
     # ------------------------------------------------------------------
-    def try_admit(self, request: GameRequest, *, time: float, seed: int) -> bool:
+    def try_admit(
+        self,
+        request: GameRequest,
+        *,
+        time: float,
+        seed: int,
+        incarnation: int = 0,
+    ) -> bool:
         """Instantiate the request's session *on this node's platform*
-        and offer it to the local strategy."""
+        and offer it to the local strategy.
+
+        ``incarnation > 0`` marks a crash-requeued relaunch; it suffixes
+        the session id so the restart never aliases the dead run's
+        telemetry and QoS history.
+        """
+        run = f"r{request.request_id}" + (
+            f".{incarnation}" if incarnation else ""
+        )
         session = GameSession(
             request.spec,
             request.script,
             player=request.player,
             seed=seed,
             platform=self.platform,
-            session_id=f"{request.spec.name}-r{request.request_id}@{self.node_id}",
+            session_id=f"{request.spec.name}-{run}@{self.node_id}",
         )
         if self.strategy.try_admit(session, time=time):
             self.sessions[session.session_id] = session
+            self.requests[session.session_id] = request
             return True
         return False
 
     def tick(self, t: int) -> None:
         """Advance every hosted session one second."""
+        degraded = set(self.strategy.degraded_sessions())
         for sid in list(self.sessions):
             session = self.sessions[sid]
             allocation = self.strategy.allocation_of(sid)
@@ -120,16 +184,66 @@ class FleetNode:
                 allocation,
                 frame_lock=tick.frame_lock,
             )
+            if sid in degraded:
+                self.qos.note_degraded(sid)
             if tick.finished:
                 self.strategy.release(sid, time=t)
                 self.completed[session.spec.name] = (
                     self.completed.get(session.spec.name, 0) + 1
                 )
                 del self.sessions[sid]
+                self.requests.pop(sid, None)
 
     def control(self, t: float) -> None:
         """Run the node's periodic control loop."""
         self.strategy.control(t, self.telemetry)
+
+    # ------------------------------------------------------------------
+    # Fault surface
+    # ------------------------------------------------------------------
+    def kill_matching(
+        self,
+        time: float,
+        *,
+        session: str = "*",
+        limit: Optional[int] = None,
+    ) -> List[Tuple[str, GameRequest]]:
+        """Kill hosted sessions whose id starts with ``session``.
+
+        Returns the ``(session_id, originating request)`` pairs, in
+        admission order, so the cluster can requeue them.
+        """
+        killed: List[Tuple[str, GameRequest]] = []
+        for sid in list(self.sessions):
+            if session != "*" and not sid.startswith(session):
+                continue
+            if limit is not None and len(killed) >= limit:
+                break
+            self.strategy.release(sid, time=time)
+            request = self.requests.pop(sid)
+            del self.sessions[sid]
+            killed.append((sid, request))
+            self.telemetry.record_fault_event(time, "session-kill", sid)
+        return killed
+
+    def crash(self, time: float) -> List[Tuple[str, GameRequest]]:
+        """Take the node ``down``; every hosted session dies."""
+        self.health = NodeHealth.DOWN
+        killed = self.kill_matching(time)
+        self.telemetry.record_fault_event(
+            time, "node-crash", f"{self.node_id}: {len(killed)} sessions killed"
+        )
+        return killed
+
+    def recover(self, time: float) -> None:
+        """Bring the node back to ``up``."""
+        self.health = NodeHealth.UP
+        self.telemetry.record_fault_event(time, "node-recover", self.node_id)
+
+    def drain(self, time: float) -> None:
+        """Stop admitting; keep running sessions."""
+        self.health = NodeHealth.DRAINING
+        self.telemetry.record_fault_event(time, "node-drain", self.node_id)
 
     # ------------------------------------------------------------------
     def headroom(self) -> float:
@@ -157,60 +271,244 @@ class ClusterScheduler:
         The fleet.
     policy:
         ``"first-fit"``, ``"best-fit"`` or ``"round-robin"``.
+    max_retries:
+        Dispatch rounds a queued request survives before it is
+        dead-lettered.
+    queue_limit:
+        Bound on the retry queue; overflow dead-letters immediately.
+    backoff_base / backoff_factor / backoff_cap:
+        Exponential retry backoff: the ``k``-th failed attempt waits
+        ``min(cap, base · factor^(k-1))`` seconds.
     """
 
     POLICIES = ("first-fit", "best-fit", "round-robin")
 
-    def __init__(self, nodes: Sequence[FleetNode], *, policy: str = "first-fit"):
+    def __init__(
+        self,
+        nodes: Sequence[FleetNode],
+        *,
+        policy: str = "first-fit",
+        max_retries: int = 25,
+        queue_limit: int = 512,
+        backoff_base: float = 5.0,
+        backoff_factor: float = 2.0,
+        backoff_cap: float = 60.0,
+    ):
         if not nodes:
             raise ValueError("a cluster needs at least one node")
         ids = [n.node_id for n in nodes]
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate node ids: {ids}")
         check_in("policy", policy, self.POLICIES)
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if backoff_base < 0 or backoff_factor < 1 or backoff_cap < 0:
+            raise ValueError(
+                "backoff needs base >= 0, factor >= 1, cap >= 0; got "
+                f"{backoff_base}, {backoff_factor}, {backoff_cap}"
+            )
         self.nodes: List[FleetNode] = list(nodes)
         self.policy = policy
+        self.max_retries = int(max_retries)
+        self.queue_limit = int(queue_limit)
+        self.backoff_base = float(backoff_base)
+        self.backoff_factor = float(backoff_factor)
+        self.backoff_cap = float(backoff_cap)
         self._rr = 0
+        self._queue: List[PendingRequest] = []
+        self._incarnations: Dict[int, int] = {}
+        self.dead_letters: List[DeadLetter] = []
         self.dispatched = 0
         self.deferred = 0
+        self.requeues = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
-    def dispatch(self, request: GameRequest, *, time: float, seed: int) -> Optional[FleetNode]:
+    def node(self, node_id: str) -> FleetNode:
+        """Look a node up by id."""
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise KeyError(f"no node {node_id!r}; have {[n.node_id for n in self.nodes]}")
+
+    def dispatch(
+        self,
+        request: GameRequest,
+        *,
+        time: float,
+        seed: int,
+        incarnation: int = 0,
+    ) -> Optional[FleetNode]:
         """Place one request; returns the hosting node or ``None``.
 
-        A ``None`` means every node's admission test rejected the game
-        right now — the request should be retried later (requests queue;
-        they are never dropped).
+        A ``None`` means every *healthy* node's admission test rejected
+        the game right now — the request should be retried later.
         """
         order = self._candidate_order(request)
         for node in order:
-            if node.try_admit(request, time=time, seed=seed):
+            if node.try_admit(
+                request, time=time, seed=seed, incarnation=incarnation
+            ):
                 self.dispatched += 1
                 return node
         self.deferred += 1
         return None
 
     def _candidate_order(self, request: GameRequest) -> List[FleetNode]:
+        up = [n for n in self.nodes if n.health is NodeHealth.UP]
         if self.policy == "round-robin":
-            k = self._rr % len(self.nodes)
+            if not up:
+                return []
+            k = self._rr % len(up)
             self._rr += 1
-            return self.nodes[k:] + self.nodes[:k]
+            return up[k:] + up[:k]
         if self.policy == "best-fit":
             # Try the fullest nodes first: consolidates games so empty
             # nodes stay empty (bin-packing pressure).
-            return sorted(self.nodes, key=lambda n: n.headroom())
-        return list(self.nodes)  # first-fit
+            return sorted(up, key=lambda n: n.headroom())
+        return up  # first-fit
+
+    # ------------------------------------------------------------------
+    # The retry queue
+    # ------------------------------------------------------------------
+    def backoff(self, attempts: int) -> float:
+        """Retry delay after ``attempts`` failed dispatch rounds."""
+        if attempts < 1:
+            return 0.0
+        return min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** (attempts - 1),
+        )
+
+    def submit(
+        self,
+        request: GameRequest,
+        *,
+        time: float,
+        incarnation: int = 0,
+    ) -> bool:
+        """Queue a request for dispatch; False = dead-lettered (full)."""
+        if len(self._queue) >= self.queue_limit:
+            self.dead_letters.append(
+                DeadLetter(request, float(time), 0, "queue overflow")
+            )
+            return False
+        self._queue.append(
+            PendingRequest(request, incarnation=incarnation, next_try=float(time))
+        )
+        return True
+
+    def pump(self, time: float, seed_for) -> List[GameRequest]:
+        """One dispatch round over the due part of the retry queue.
+
+        ``seed_for(request, incarnation)`` supplies the session seed.
+        Returns the requests that started; the rest back off
+        exponentially until ``max_retries``, then dead-letter.
+        """
+        started: List[GameRequest] = []
+        remaining: List[PendingRequest] = []
+        for entry in self._queue:
+            if entry.next_try > time + 1e-9:
+                remaining.append(entry)
+                continue
+            node = self.dispatch(
+                entry.request,
+                time=time,
+                seed=seed_for(entry.request, entry.incarnation),
+                incarnation=entry.incarnation,
+            )
+            if node is not None:
+                started.append(entry.request)
+                continue
+            entry.attempts += 1
+            if entry.attempts > self.max_retries:
+                self.dead_letters.append(
+                    DeadLetter(
+                        entry.request, float(time), entry.attempts,
+                        "retries exhausted",
+                    )
+                )
+            else:
+                entry.next_try = time + self.backoff(entry.attempts)
+                remaining.append(entry)
+        self._queue = remaining
+        return started
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting in the retry queue."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Fault surface
+    # ------------------------------------------------------------------
+    def _requeue(self, request: GameRequest, time: float) -> None:
+        rid = request.request_id
+        self._incarnations[rid] = self._incarnations.get(rid, 0) + 1
+        self.requeues += 1
+        self.submit(request, time=time, incarnation=self._incarnations[rid])
+
+    def crash_node(
+        self, node_id: str, time: float, *, requeue: bool = True
+    ) -> List[str]:
+        """Kill a node; returns the displaced session ids.
+
+        Displaced requests re-enter the retry queue (``requeue=True``)
+        or vanish (players abandon).
+        """
+        node = self.node(node_id)
+        if node.health is NodeHealth.DOWN:
+            return []
+        killed = node.crash(time)
+        self.evictions += len(killed)
+        if requeue:
+            for _sid, request in killed:
+                self._requeue(request, time)
+        return [sid for sid, _ in killed]
+
+    def recover_node(self, node_id: str, time: float) -> None:
+        """Bring a node back into dispatch rotation."""
+        self.node(node_id).recover(time)
+
+    def drain_node(self, node_id: str, time: float) -> None:
+        """Take a node out of dispatch rotation, keeping its sessions."""
+        self.node(node_id).drain(time)
+
+    def kill_session(
+        self,
+        time: float,
+        *,
+        node: str = "*",
+        session: str = "*",
+        requeue: bool = True,
+    ) -> Optional[str]:
+        """Kill the first matching session fleet-wide (crash/abandon)."""
+        for fleet_node in self.nodes:
+            if node != "*" and fleet_node.node_id != node:
+                continue
+            killed = fleet_node.kill_matching(time, session=session, limit=1)
+            if killed:
+                sid, request = killed[0]
+                self.evictions += 1
+                if requeue:
+                    self._requeue(request, time)
+                return sid
+        return None
 
     # ------------------------------------------------------------------
     def tick(self, t: int) -> None:
-        """Advance every node one second."""
+        """Advance every live node one second."""
         for node in self.nodes:
-            node.tick(t)
+            if node.health is not NodeHealth.DOWN:
+                node.tick(t)
 
     def control(self, t: float) -> None:
-        """Run every node's control loop."""
+        """Run every live node's control loop."""
         for node in self.nodes:
-            node.control(t)
+            if node.health is not NodeHealth.DOWN:
+                node.control(t)
 
     @property
     def total_running(self) -> int:

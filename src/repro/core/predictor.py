@@ -37,10 +37,22 @@ __all__ = [
     "BACKENDS",
     "JudgmentKind",
     "Judgment",
+    "PredictorBackendError",
     "StagePredictor",
     "PredictionCostModel",
     "make_backend",
 ]
+
+
+class PredictorBackendError(RuntimeError):
+    """A model backend failed to produce a prediction.
+
+    Raised by :meth:`StagePredictor.predict_next` when the backend is
+    broken (e.g. a fault-injected failure); callers on the control path
+    catch it and walk the fallback chain (next trained backend, then the
+    stage-history prior) under the
+    :class:`~repro.faults.health.PredictorHealth` circuit breaker.
+    """
 
 BACKENDS: Tuple[str, ...] = ("dtc", "rf", "gbdt")
 
@@ -127,6 +139,9 @@ class StagePredictor:
         self._models: Dict[str, object] = {}
         self._fallback: Optional[object] = None
         self.accuracy_: Optional[float] = None
+        #: Fault-injection switch: while True, :meth:`predict_next`
+        #: raises :class:`PredictorBackendError` (see repro.faults).
+        self.failure_injected: bool = False
 
     # ------------------------------------------------------------------
     # Training
@@ -192,6 +207,17 @@ class StagePredictor:
         """Whether :meth:`train` has completed."""
         return bool(self._models)
 
+    def inject_failure(self, failing: bool = True) -> None:
+        """Toggle the fault-injection failure mode of this backend.
+
+        While failing, :meth:`predict_next` raises
+        :class:`PredictorBackendError`; :meth:`judge` and
+        :meth:`prior_prediction` stay available (they do not touch the
+        trained models), which is exactly what the degradation path
+        relies on.
+        """
+        self.failure_injected = bool(failing)
+
     # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------
@@ -220,6 +246,10 @@ class StagePredictor:
         """
         if not self.is_trained:
             raise RuntimeError("predictor is not trained; call train() first")
+        if self.failure_injected:
+            raise PredictorBackendError(
+                f"backend {self.backend!r} failure injected"
+            )
         seq = [
             idx
             for t in exec_history
@@ -231,7 +261,7 @@ class StagePredictor:
         else:
             group_hist = None
         if not seq:
-            return self._prior_prediction()
+            return self.prior_prediction()
         feats = self.builder.encode_history(seq, len(seq), group_hist=group_hist)
         model = self._model_for(player_id)
         proba = model.predict_proba(feats[None, :])[0]
@@ -239,7 +269,15 @@ class StagePredictor:
         label = int(model.classes_[best])
         return self.builder.types[label], float(proba[best])
 
-    def _prior_prediction(self) -> Tuple[StageTypeId, float]:
+    def prior_prediction(self) -> Tuple[StageTypeId, float]:
+        """Model-free prediction from the stage-history prior.
+
+        Returns the library's most frequently observed execution type
+        with its empirical share as confidence.  This is the last link
+        of the degradation chain: it needs no trained backend, so it
+        keeps serving while every model is broken or the circuit breaker
+        is open.
+        """
         stats = [
             (self.library.stats(t).occurrences, t)
             for t in self.builder.types

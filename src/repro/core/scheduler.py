@@ -29,11 +29,17 @@ from repro.core.adjustment import DynamicAdjuster, backend_rotation
 from repro.core.allocation import AllocationPlanner
 from repro.core.distributor import AdmissionDecision, Distributor
 from repro.core.pipeline import GameProfile
-from repro.core.predictor import Judgment, JudgmentKind, StagePredictor
+from repro.core.predictor import (
+    Judgment,
+    JudgmentKind,
+    PredictorBackendError,
+    StagePredictor,
+)
 from repro.core.regulator import Regulator, RegulatorConfig
 from repro.core.stages import StageTypeId
+from repro.faults.health import BreakerState, PredictorHealth
 from repro.games.session import GameSession
-from repro.platform_.allocator import Allocator
+from repro.platform_.allocator import AllocationError, Allocator
 from repro.platform_.resources import ResourceVector
 from repro.sim.telemetry import TelemetryRecorder
 from repro.streaming.encoder import EncoderModel
@@ -79,6 +85,16 @@ class CoCGConfig:
         Regulator configuration.
     stream_encoder:
         Charge each session this encoder's CPU overhead (``None`` = off).
+    failure_threshold:
+        Consecutive model-chain failures that trip a session's
+        :class:`~repro.faults.health.PredictorHealth` breaker open.
+    failure_cooldown:
+        Seconds an open breaker waits before a half-open re-probe.
+    degraded_margin:
+        Multiplicative headroom over observed usage in degraded
+        (reactive) mode — mirrors ``baselines.reactive``.
+    degraded_floor:
+        Per-dimension minimum ceiling (percent) in degraded mode.
     """
 
     detect_interval: int = 5
@@ -88,11 +104,23 @@ class CoCGConfig:
     replace_after: int = 3
     regulator: RegulatorConfig = field(default_factory=RegulatorConfig)
     stream_encoder: Optional[EncoderModel] = None
+    failure_threshold: int = 3
+    failure_cooldown: float = 60.0
+    degraded_margin: float = 0.15
+    degraded_floor: float = 8.0
 
     def __post_init__(self) -> None:
         if self.detect_interval < 1:
             raise ValueError(
                 f"detect_interval must be >= 1, got {self.detect_interval}"
+            )
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.failure_cooldown < 0:
+            raise ValueError(
+                f"failure_cooldown must be >= 0, got {self.failure_cooldown}"
             )
 
 
@@ -107,6 +135,8 @@ class SessionControl:
         backend: str,
         replace_after: int,
         steal_fraction: float = 0.2,
+        health: Optional[PredictorHealth] = None,
+        now: float = 0.0,
     ):
         self.session = session
         self.profile = profile
@@ -116,6 +146,7 @@ class SessionControl:
         self.adjuster = DynamicAdjuster(
             profile.spec.category, replace_after=replace_after
         )
+        self.health = health if health is not None else PredictorHealth()
         self.phase: str = "loading"  # sessions always boot by loading
         self.believed: Optional[StageTypeId] = None
         self.prev_exec: Optional[StageTypeId] = None
@@ -125,10 +156,12 @@ class SessionControl:
         self.maybe_transient: bool = False
         self.redundant: bool = False
         self.hold_seconds: float = 0.0
+        self.degraded_logged: bool = False
+        self.prior_served: int = 0
         self._peaks_cache: Dict[int, List[ResourceVector]] = {}
         self.desired: ResourceVector = planner.for_loading()
         # Prime the first prediction from the empty history.
-        self._predict_next()
+        self._predict_next(now)
 
     # ------------------------------------------------------------------
     @property
@@ -144,9 +177,56 @@ class SessionControl:
         """The controlling player's stable id."""
         return self.session.player.player_id
 
-    def _predict_next(self) -> None:
-        self.predicted, self.predicted_conf = self.predictor.predict_next(
-            self.exec_history, player_id=self.player_id
+    def _model_chain(self) -> List[StagePredictor]:
+        """Trained predictors in fallback order: current backend first,
+        then the category's rotation order (§IV-B2)."""
+        preds = self.profile.predictors
+        order = [self.backend] + [
+            b for b in backend_rotation(self.profile.spec.category)
+            if b != self.backend
+        ]
+        return [preds[b] for b in order if b in preds]
+
+    def _chain_predict(
+        self, history: List[StageTypeId], now: float
+    ) -> tuple:
+        """Predict via the fallback chain under the circuit breaker.
+
+        Returns ``(stage_type, confidence, from_model)``.  Walks the
+        trained backends in rotation order; if every backend fails (or
+        the breaker is open) the stage-history prior answers instead and
+        ``from_model`` is False.
+        """
+        if self.health.allow(now):
+            for predictor in self._model_chain():
+                try:
+                    stage, conf = predictor.predict_next(
+                        history, player_id=self.player_id
+                    )
+                except PredictorBackendError:
+                    continue
+                self.health.record_success()
+                return stage, conf, True
+            self.health.record_failure(now)
+        self.prior_served += 1
+        stage, conf = self.predictor.prior_prediction()
+        return stage, conf, False
+
+    def try_probe(self, now: float) -> bool:
+        """Half-open probe: is the model chain serving again?
+
+        Consults the breaker first (no-op while the cooldown runs) and
+        records the probe's outcome, so a success re-closes the breaker
+        and a failure restarts the cooldown.
+        """
+        if not self.health.allow(now):
+            return False
+        _stage, _conf, from_model = self._chain_predict(self.exec_history, now)
+        return from_model
+
+    def _predict_next(self, now: float = 0.0) -> None:
+        self.predicted, self.predicted_conf, _ = self._chain_predict(
+            self.exec_history, now
         )
 
     def _rotate_backend(self) -> None:
@@ -193,9 +273,15 @@ class SessionControl:
                 break
             peaks.append(self.planner.for_execution(current, redundancy=False))
             hist.append(current)
-            current, _conf = self.predictor.predict_next(
-                hist, player_id=self.player_id
-            )
+            try:
+                current, _conf = self.predictor.predict_next(
+                    hist, player_id=self.player_id
+                )
+            except PredictorBackendError:
+                # Degraded rollout: repeat the prior instead of the model.
+                # Deliberately does not touch the breaker — the rollout
+                # may run once per queued request per admission round.
+                current, _conf = self.predictor.prior_prediction()
         self._peaks_cache[horizon] = peaks
         return peaks
 
@@ -294,7 +380,7 @@ class CoCGScheduler:
         )
         try:
             self.allocator.place(session.session_id, grant, gpu_index=gi, time=time)
-        except Exception:
+        except AllocationError:
             self.rejections += 1
             return AdmissionDecision(False, "placement failed under the cap")
         ctl = SessionControl(
@@ -304,6 +390,11 @@ class CoCGScheduler:
             backend,
             self.config.replace_after,
             steal_fraction=self.config.regulator.steal_fraction,
+            health=PredictorHealth(
+                threshold=self.config.failure_threshold,
+                cooldown=self.config.failure_cooldown,
+            ),
+            now=time,
         )
         if not self.config.use_redundancy:
             ctl.planner.set_accuracy(1.0)  # zero Eq-1 margin
@@ -346,21 +437,57 @@ class CoCGScheduler:
     # The 5-second control cycle
     # ------------------------------------------------------------------
     def control(self, time: float, telemetry: TelemetryRecorder) -> None:
-        """Run one detection cycle over every hosted session."""
+        """Run one detection cycle over every hosted session.
+
+        The cycle is fault-isolated: an exception in one session's
+        control path is logged to telemetry, trips that session's
+        predictor breaker, and leaves it on a safe peak-reserve ceiling
+        — it never aborts the tick for its neighbours.
+        """
         interval = self.config.detect_interval
         self._now = time
         for sid, ctl in self._sessions.items():
             window = telemetry.observed_window(sid, interval)
             if window is None:
                 continue
-            self._control_session(ctl, window, interval)
+            try:
+                self._control_session(ctl, window, interval)
+            except Exception as exc:
+                telemetry.record_fault_event(
+                    time, "control-error", f"{sid}: {exc!r}"
+                )
+                ctl.health.record_failure(time)
+                ctl.desired = ctl.planner.peak_plan()
+                self._log(sid, "control-error", repr(exc))
         self._grant_all(time)
+
+    def degraded_sessions(self) -> List[str]:
+        """Sessions currently running in degraded (open-breaker) mode."""
+        return [
+            sid
+            for sid, ctl in self._sessions.items()
+            if ctl.health.state is not BreakerState.CLOSED
+        ]
 
     def _control_session(
         self, ctl: SessionControl, window: np.ndarray, interval: int
     ) -> None:
         ctl._peaks_cache.clear()  # state may change below
         self._last_window = window
+        if ctl.health.state is not BreakerState.CLOSED:
+            # Open breaker: the model chain is distrusted.  Probe once
+            # the cooldown allows it; until a probe succeeds the session
+            # runs reactive usage-following (the "improved" baseline)
+            # instead of predictive control.
+            if ctl.try_probe(self._now):
+                ctl.degraded_logged = False
+                self._log(
+                    ctl.session.session_id, "breaker-close",
+                    "predictor chain restored; resuming predictive control",
+                )
+            else:
+                self._control_degraded(ctl, window)
+                return
         judgment = ctl.predictor.judge(
             window, ctl.believed if ctl.phase == "execution" else None
         )
@@ -413,6 +540,24 @@ class CoCGScheduler:
         else:
             self._control_loading(ctl, judgment, interval)
 
+    def _control_degraded(self, ctl: SessionControl, window: np.ndarray) -> None:
+        """Reactive usage-following for an open-breaker session.
+
+        Mirrors ``baselines.reactive``: ceiling = observed window ×
+        (1 + margin), floored per dimension — no model, no prediction.
+        """
+        target = np.maximum(
+            window * (1.0 + self.config.degraded_margin),
+            self.config.degraded_floor,
+        )
+        ctl.desired = ResourceVector.from_array(np.clip(target, 0.0, 100.0))
+        if not ctl.degraded_logged:
+            ctl.degraded_logged = True
+            self._log(
+                ctl.session.session_id, "degraded",
+                "predictor breaker open; reactive peak-reserve allocation",
+            )
+
     def _control_execution(self, ctl: SessionControl, j: Judgment) -> None:
         if j.kind is JudgmentKind.SAME:
             # Settle on the plain stage plan: this releases both the Eq-1
@@ -429,7 +574,7 @@ class CoCGScheduler:
             ctl.prev_exec = ctl.believed
             if ctl.believed is not None:
                 ctl.exec_history.append(ctl.believed)
-            ctl._predict_next()
+            ctl._predict_next(self._now)
             ctl.hold_seconds = 0.0
             ctl.desired = ctl.planner.for_loading()
             self._log(

@@ -1,0 +1,140 @@
+"""Chaos harness: the same fleet run with and without a fault plan.
+
+:func:`run_chaos` executes two :class:`FleetExperiment` runs from
+identical seeds — one fault-free, one under the plan — and packages the
+QoS/throughput deltas.  This is what ``cocg chaos`` and the CI chaos
+smoke job drive; :func:`default_plan` is the canonical demo schedule
+(one node crash mid-run with recovery, low-rate telemetry dropout, a
+predictor-backend outage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.cluster.experiment import FleetExperiment, FleetResult
+from repro.cluster.fleet import ClusterScheduler
+from repro.faults.plan import FaultPlan
+from repro.games.spec import GameSpec
+from repro.util.rng import Seed
+
+__all__ = ["ChaosReport", "default_plan", "run_chaos"]
+
+
+def default_plan(
+    horizon: int, *, seed: int = 0, crash_node: str = "n1"
+) -> FaultPlan:
+    """The demo schedule: crash + recovery, 1 % dropout, model outage."""
+    crash_at = max(1.0, horizon / 3.0)
+    return (
+        FaultPlan(seed=seed)
+        .node_crash(crash_at, crash_node, recover_after=horizon / 6.0)
+        .telemetry_dropout(0.0, duration=float(horizon), rate=0.01)
+        .predictor_failure(
+            max(1.0, horizon / 4.0), recover_after=horizon / 4.0
+        )
+    )
+
+
+@dataclass
+class ChaosReport:
+    """Side-by-side outcome of the fault-free and faulted runs."""
+
+    baseline: FleetResult
+    faulted: FleetResult
+    plan: FaultPlan
+
+    @property
+    def violation_delta(self) -> float:
+        """Extra QoS-violation fraction caused by the faults."""
+        return (
+            self.faulted.violation_fraction - self.baseline.violation_fraction
+        )
+
+    @property
+    def completed_delta(self) -> int:
+        """Completed runs lost (negative = lost) to the faults."""
+        return sum(self.faulted.completed_runs.values()) - sum(
+            self.baseline.completed_runs.values()
+        )
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable report (one string per output line)."""
+        base, chaos = self.baseline, self.faulted
+        lines = [
+            f"fault plan: {len(self.plan)} faults (seed {self.plan.seed})",
+            "",
+            f"{'':24s}{'fault-free':>12s}{'faulted':>12s}",
+            (
+                f"{'completed runs':24s}"
+                f"{sum(base.completed_runs.values()):>12d}"
+                f"{sum(chaos.completed_runs.values()):>12d}"
+            ),
+            (
+                f"{'throughput (Eq-2)':24s}"
+                f"{base.throughput:>12.3f}{chaos.throughput:>12.3f}"
+            ),
+            (
+                f"{'QoS violation frac':24s}"
+                f"{base.violation_fraction:>12.4f}"
+                f"{chaos.violation_fraction:>12.4f}"
+            ),
+            (
+                f"{'fraction of best FPS':24s}"
+                f"{base.fraction_of_best:>12.3f}{chaos.fraction_of_best:>12.3f}"
+            ),
+            (
+                f"{'degraded seconds':24s}"
+                f"{base.degraded_seconds:>12d}{chaos.degraded_seconds:>12d}"
+            ),
+            (
+                f"{'dead letters':24s}"
+                f"{len(base.dead_letters):>12d}{len(chaos.dead_letters):>12d}"
+            ),
+            (
+                f"{'requeues/evictions':24s}"
+                f"{base.requeues:>9d}/{base.evictions:<2d}"
+                f"{chaos.requeues:>9d}/{chaos.evictions:<2d}"
+            ),
+            "",
+            f"QoS-violation delta: {self.violation_delta:+.4f}",
+            f"completed-runs delta: {self.completed_delta:+d}",
+        ]
+        if chaos.fault_events:
+            lines.append("")
+            lines.append("faults applied:")
+            lines.extend(f"  {event}" for event in chaos.fault_events)
+        return lines
+
+
+def run_chaos(
+    make_cluster: Callable[[], ClusterScheduler],
+    specs: Sequence[GameSpec],
+    *,
+    plan: FaultPlan,
+    horizon: int = 600,
+    rate_per_minute: float = 2.0,
+    seed: Seed = 0,
+    detect_interval: int = 5,
+) -> ChaosReport:
+    """Run fault-free and faulted experiments from identical seeds.
+
+    ``make_cluster`` must build a *fresh* cluster per call — nodes and
+    strategies are stateful, so the two runs cannot share one.
+    """
+
+    def run(fault_plan):
+        return FleetExperiment(
+            make_cluster(),
+            specs,
+            horizon=horizon,
+            rate_per_minute=rate_per_minute,
+            seed=seed,
+            detect_interval=detect_interval,
+            fault_plan=fault_plan,
+        ).run()
+
+    baseline = run(None)
+    faulted = run(plan)
+    return ChaosReport(baseline=baseline, faulted=faulted, plan=plan)

@@ -1,0 +1,320 @@
+"""Declarative, deterministic fault plans.
+
+A :class:`FaultPlan` is a seed-carrying schedule of faults — node
+crashes and recoveries, single-session kills, telemetry dropout and
+noise, predictor-backend failures — that a
+:class:`~repro.faults.injector.FaultInjector` turns into
+:class:`~repro.sim.engine.SimulationEngine` events.  The plan itself is
+pure data: no wall clock, no hidden randomness.  Every stochastic fault
+(e.g. a 1 % telemetry dropout) draws from a generator derived with
+:func:`repro.util.rng.derive_seed` from the plan seed and the fault's
+index, so the same ``(seed, plan)`` pair always perturbs the very same
+samples — the property the chaos CI job asserts byte-for-byte.
+
+The builder methods (:meth:`FaultPlan.node_crash`,
+:meth:`FaultPlan.telemetry_dropout`, …) return ``self`` so plans read as
+a fluent schedule::
+
+    plan = (
+        FaultPlan(seed=7)
+        .node_crash(120.0, "node-1", recover_after=180.0)
+        .telemetry_dropout(0.0, duration=600.0, rate=0.01)
+        .predictor_failure(200.0, game="contra", recover_after=150.0)
+    )
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.rng import derive_seed
+from repro.util.validation import check_fraction, check_nonnegative
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan"]
+
+
+class FaultKind(Enum):
+    """The fault taxonomy (see ``docs/FAULTS.md``)."""
+
+    NODE_CRASH = "node-crash"
+    NODE_RECOVER = "node-recover"
+    NODE_DRAIN = "node-drain"
+    SESSION_KILL = "session-kill"
+    TELEMETRY_DROPOUT = "telemetry-dropout"
+    TELEMETRY_NOISE = "telemetry-noise"
+    PREDICTOR_FAIL = "predictor-fail"
+    PREDICTOR_RECOVER = "predictor-recover"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Targeting fields default to ``"*"`` (match everything).  ``node``,
+    ``game`` and ``backend`` match exactly; ``session`` matches by
+    prefix, which pairs naturally with the ``<game>-r<id>@<node>``
+    session-id convention.
+
+    Parameters
+    ----------
+    kind:
+        What goes wrong.
+    time:
+        Simulation time (seconds) at which the fault fires.
+    node / session / game / backend:
+        Targeting patterns (see above).
+    duration:
+        Length of windowed faults (dropout/noise); ``inf`` = open-ended.
+    rate:
+        Per-sample dropout probability in [0, 1].
+    std:
+        Extra Gaussian noise std (percentage points) for noise faults.
+    spike_prob / spike_scale:
+        Per-sample probability and magnitude of a telemetry spike.
+    recover_after:
+        For crashes/predictor failures: schedule the matching recovery
+        this many seconds later (``None`` = no auto-recovery).
+    requeue:
+        For kills/crashes: whether displaced requests re-enter the
+        cluster queue (a crash) or vanish (a player abandon).
+    """
+
+    kind: FaultKind
+    time: float
+    node: str = "*"
+    session: str = "*"
+    game: str = "*"
+    backend: str = "*"
+    duration: float = math.inf
+    rate: float = 1.0
+    std: float = 0.0
+    spike_prob: float = 0.0
+    spike_scale: float = 25.0
+    recover_after: Optional[float] = None
+    requeue: bool = True
+
+    def __post_init__(self) -> None:
+        check_nonnegative("time", self.time)
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        check_fraction("rate", self.rate)
+        check_nonnegative("std", self.std)
+        check_fraction("spike_prob", self.spike_prob)
+        check_nonnegative("spike_scale", self.spike_scale)
+        if self.recover_after is not None and self.recover_after <= 0:
+            raise ValueError(
+                f"recover_after must be > 0, got {self.recover_after}"
+            )
+
+    @property
+    def end(self) -> float:
+        """End of a windowed fault (``time + duration``)."""
+        return self.time + self.duration
+
+    def matches_node(self, node_id: str) -> bool:
+        """Whether the spec targets ``node_id``."""
+        return self.node == "*" or self.node == node_id
+
+    def matches_session(self, session_id: str) -> bool:
+        """Whether the spec targets ``session_id`` (prefix match)."""
+        return self.session == "*" or session_id.startswith(self.session)
+
+    def matches_game(self, game: str) -> bool:
+        """Whether the spec targets ``game``."""
+        return self.game == "*" or self.game == game
+
+    def matches_backend(self, backend: str) -> bool:
+        """Whether the spec targets ``backend``."""
+        return self.backend == "*" or self.backend == backend
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form."""
+        out: Dict = {"kind": self.kind.value, "time": self.time}
+        defaults = FaultSpec(kind=self.kind, time=self.time)
+        for name in (
+            "node", "session", "game", "backend", "duration", "rate",
+            "std", "spike_prob", "spike_scale", "recover_after", "requeue",
+        ):
+            value = getattr(self, name)
+            if value != getattr(defaults, name):
+                out[name] = value
+        return out
+
+    @staticmethod
+    def from_dict(data: Dict) -> "FaultSpec":
+        """Inverse of :meth:`to_dict`."""
+        payload = dict(data)
+        kind = FaultKind(payload.pop("kind"))
+        time = float(payload.pop("time"))
+        return FaultSpec(kind=kind, time=time, **payload)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, seeded schedule of faults.
+
+    Parameters
+    ----------
+    seed:
+        Root of every stochastic fault's random stream (dropout, noise
+        spikes).  Two runs with the same plan and seed perturb
+        byte-identical samples.
+    faults:
+        The scheduled faults; kept in insertion order, replayed in
+        ``(time, kind)`` order.
+    """
+
+    seed: int = 0
+    faults: List[FaultSpec] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Fluent builders
+    # ------------------------------------------------------------------
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        """Append one pre-built :class:`FaultSpec`."""
+        self.faults.append(spec)
+        return self
+
+    def node_crash(
+        self,
+        time: float,
+        node: str,
+        *,
+        recover_after: Optional[float] = None,
+        requeue: bool = True,
+    ) -> "FaultPlan":
+        """Node dies: capacity is gone, hosted sessions are killed.
+
+        Displaced requests re-enter the cluster retry queue unless
+        ``requeue=False``.  ``recover_after`` schedules the node's
+        return to ``up`` that many seconds later.
+        """
+        return self.add(FaultSpec(
+            FaultKind.NODE_CRASH, time, node=node,
+            recover_after=recover_after, requeue=requeue,
+        ))
+
+    def node_recover(self, time: float, node: str) -> "FaultPlan":
+        """Bring a crashed/draining node back to ``up``."""
+        return self.add(FaultSpec(FaultKind.NODE_RECOVER, time, node=node))
+
+    def node_drain(self, time: float, node: str) -> "FaultPlan":
+        """Set a node ``draining``: keeps its sessions, admits nothing."""
+        return self.add(FaultSpec(FaultKind.NODE_DRAIN, time, node=node))
+
+    def session_kill(
+        self,
+        time: float,
+        *,
+        node: str = "*",
+        session: str = "*",
+        requeue: bool = True,
+    ) -> "FaultPlan":
+        """Kill one running session (deterministically the first match).
+
+        ``requeue=True`` models a crash (the player relaunches);
+        ``requeue=False`` an abandon (the player walks away).
+        """
+        return self.add(FaultSpec(
+            FaultKind.SESSION_KILL, time, node=node, session=session,
+            requeue=requeue,
+        ))
+
+    def telemetry_dropout(
+        self,
+        time: float,
+        *,
+        duration: float = math.inf,
+        rate: float = 1.0,
+        node: str = "*",
+        session: str = "*",
+    ) -> "FaultPlan":
+        """Drop each matching telemetry sample with probability ``rate``."""
+        return self.add(FaultSpec(
+            FaultKind.TELEMETRY_DROPOUT, time, node=node, session=session,
+            duration=duration, rate=rate,
+        ))
+
+    def telemetry_noise(
+        self,
+        time: float,
+        *,
+        duration: float = math.inf,
+        std: float = 3.0,
+        spike_prob: float = 0.0,
+        spike_scale: float = 25.0,
+        node: str = "*",
+        session: str = "*",
+    ) -> "FaultPlan":
+        """Add Gaussian noise (and optional spikes) to observed samples."""
+        return self.add(FaultSpec(
+            FaultKind.TELEMETRY_NOISE, time, node=node, session=session,
+            duration=duration, std=std, spike_prob=spike_prob,
+            spike_scale=spike_scale,
+        ))
+
+    def predictor_failure(
+        self,
+        time: float,
+        *,
+        node: str = "*",
+        game: str = "*",
+        backend: str = "*",
+        recover_after: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Break matching predictor backends (``predict_next`` raises)."""
+        return self.add(FaultSpec(
+            FaultKind.PREDICTOR_FAIL, time, node=node, game=game,
+            backend=backend, recover_after=recover_after,
+        ))
+
+    def predictor_recover(
+        self,
+        time: float,
+        *,
+        node: str = "*",
+        game: str = "*",
+        backend: str = "*",
+    ) -> "FaultPlan":
+        """Heal matching predictor backends."""
+        return self.add(FaultSpec(
+            FaultKind.PREDICTOR_RECOVER, time, node=node, game=game,
+            backend=backend,
+        ))
+
+    # ------------------------------------------------------------------
+    def scheduled(self) -> Tuple[FaultSpec, ...]:
+        """The faults in deterministic replay order (time, then kind)."""
+        return tuple(sorted(
+            self.faults, key=lambda f: (f.time, f.kind.value)
+        ))
+
+    def stream_seed(self, index: int, spec: FaultSpec) -> int:
+        """Derived seed for the ``index``-th fault's random stream."""
+        return derive_seed(self.seed, "fault", str(index), spec.kind.value)
+
+    def shifted(self, offset: float) -> "FaultPlan":
+        """A copy with every fault time shifted by ``offset`` seconds."""
+        return FaultPlan(
+            seed=self.seed,
+            faults=[replace(f, time=f.time + offset) for f in self.faults],
+        )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serializable form of the whole plan."""
+        return {"seed": self.seed, "faults": [f.to_dict() for f in self.faults]}
+
+    @staticmethod
+    def from_dict(data: Dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        return FaultPlan(
+            seed=int(data.get("seed", 0)),
+            faults=[FaultSpec.from_dict(f) for f in data.get("faults", [])],
+        )

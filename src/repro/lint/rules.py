@@ -1,4 +1,4 @@
-"""The CoCG invariant rules, CG001–CG007.
+"""The CoCG invariant rules, CG001–CG008.
 
 Each rule protects one convention the interpreter cannot enforce but the
 reproduction's correctness depends on (see ``docs/LINT.md`` for the full
@@ -12,6 +12,7 @@ CG004     ``__all__`` is present, accurate, and complete
 CG005     no wall-clock reads inside ``sim`` (use the engine clock)
 CG006     no bare/swallowed exceptions in scheduler/distributor paths
 CG007     resource dimensions come from the canonical constants
+CG008     fault paths re-raise, log to telemetry, or transition health
 ========  ==============================================================
 """
 
@@ -30,6 +31,7 @@ __all__ = [
     "NoWallClockInSim",
     "ExceptionHygiene",
     "CanonicalDimensions",
+    "FaultPathAccountability",
 ]
 
 _FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
@@ -591,4 +593,76 @@ class CanonicalDimensions(Rule):
             if dim is not None:
                 self.report(node.args[0], f".index({dim!r}) on a dimension "
                                           f"literal; use the index constants")
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# CG008
+# ----------------------------------------------------------------------
+
+#: Method names whose invocation inside a handler counts as *accounting
+#: for* the fault: telemetry/log sinks and health-state transitions.
+_FAULT_ACCOUNTING_CALLS = frozenset({
+    "record_fault_event", "record_failure", "record_success",
+    "note_degraded", "crash", "recover", "drain",
+    "crash_node", "recover_node", "drain_node",
+    "_log", "log", "warning", "error", "exception", "report",
+})
+
+
+@register
+class FaultPathAccountability(Rule):
+    """CG008 — fault paths re-raise, log to telemetry, or move health.
+
+    On the resilience-critical paths — ``faults/``, ``cluster/``, and
+    ``core/scheduler.py`` — a handler that catches *everything* (bare
+    ``except:``, ``Exception``, ``BaseException``) must visibly account
+    for the error: re-raise it, log it to telemetry or the decision log,
+    or transition a health state (breaker trip, node down, …).  A broad
+    handler that quietly substitutes a value is exactly how an injected
+    fault disappears from the QoS accounting, so the degradation claims
+    become untestable.  CG006 bans the empty swallow; this rule demands
+    positive evidence of accounting.
+    """
+
+    rule_id = "CG008"
+    name = "fault-path-accountability"
+    description = ("broad exception handler on a fault path with no "
+                   "re-raise, telemetry log, or health transition")
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        parts = ctx.rel_parts
+        if parts and parts[0] in ("faults", "cluster"):
+            return True
+        return ctx.is_module("core", "scheduler.py")
+
+    @staticmethod
+    def _accounts(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Raise):
+                    return True
+                if isinstance(node, ast.Call):
+                    dotted = _dotted_name(node.func)
+                    if dotted is not None and (
+                        dotted.split(".")[-1] in _FAULT_ACCOUNTING_CALLS
+                    ):
+                        return True
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if (isinstance(target, ast.Attribute)
+                                and target.attr in ("health", "_state")):
+                            return True
+        return False
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        broad = node.type is None or ExceptionHygiene._is_broad(node.type)
+        if broad and not self._accounts(node.body):
+            self.report(node, "broad handler on a fault path must re-raise, "
+                              "log to telemetry, or transition a health state")
         self.generic_visit(node)

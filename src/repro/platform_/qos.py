@@ -104,7 +104,12 @@ class FpsModel:
 
 @dataclass
 class QoSReport:
-    """Aggregated QoS metrics for one session."""
+    """Aggregated QoS metrics for one session.
+
+    ``degraded_seconds`` counts seconds the scheduler spent in degraded
+    (open-breaker, reactive-allocation) mode for this session — zero in
+    a fault-free run.
+    """
 
     session_id: str
     seconds: int
@@ -113,6 +118,7 @@ class QoSReport:
     violation_fraction: float
     fraction_of_best: float
     min_fps: float
+    degraded_seconds: int = 0
 
     def meets_paper_tolerance(self, tolerance: float = 0.05) -> bool:
         """The §IV-D criterion: degradation for < 5 % of the total time."""
@@ -131,6 +137,22 @@ class QoSTracker:
         self.model = model if model is not None else FpsModel()
         self._fps: Dict[str, List[float]] = {}
         self._best: Dict[str, List[float]] = {}
+        self._degraded: Dict[str, int] = {}
+
+    def note_degraded(self, session_id: str, seconds: int = 1) -> None:
+        """Count ``seconds`` of degraded-mode operation for a session."""
+        check_nonnegative("seconds", seconds)
+        self._degraded[session_id] = (
+            self._degraded.get(session_id, 0) + int(seconds)
+        )
+
+    def degraded_seconds(self, session_id: str) -> int:
+        """Seconds the session spent under degraded (reactive) control."""
+        return self._degraded.get(session_id, 0)
+
+    def total_degraded_seconds(self) -> int:
+        """Degraded-mode seconds summed over every session."""
+        return sum(self._degraded.values())
 
     def record(self, session_id: str, fps: float, best_fps: float) -> None:
         """Record one second of play."""
@@ -180,6 +202,7 @@ class QoSTracker:
             violation_fraction=float(violations / fps.size),
             fraction_of_best=float(np.mean(fps / best)),
             min_fps=float(fps.min()),
+            degraded_seconds=self._degraded.get(session_id, 0),
         )
 
     def overall_fraction_of_best(self) -> float:

@@ -26,10 +26,19 @@ class Event:
     seq: int
     callback: Callable[["SimulationEngine"], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _done: bool = field(default=False, compare=False, repr=False)
+    _on_cancel: Optional[Callable[[], None]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it."""
+        """Mark the event so the engine skips it (idempotent; a no-op
+        once the event has fired)."""
+        if self.cancelled or self._done:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
 
 
 class SimulationEngine:
@@ -45,6 +54,10 @@ class SimulationEngine:
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._processed = 0
+        self._live = 0
+
+    def _note_cancel(self) -> None:
+        self._live -= 1
 
     @property
     def now(self) -> float:
@@ -53,8 +66,12 @@ class SimulationEngine:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (non-cancelled) events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of scheduled (non-cancelled) events.
+
+        O(1): a live counter maintained on schedule/cancel/fire, so
+        per-tick health checks never rescan the heap.
+        """
+        return self._live
 
     @property
     def processed(self) -> int:
@@ -72,8 +89,12 @@ class SimulationEngine:
         """Schedule ``callback`` at absolute ``time`` (≥ now)."""
         if time < self._now - 1e-9:
             raise ValueError(f"cannot schedule at {time} < now ({self._now})")
-        event = Event(float(time), int(priority), next(self._seq), callback)
+        event = Event(
+            float(time), int(priority), next(self._seq), callback,
+            _on_cancel=self._note_cancel,
+        )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def after(
@@ -128,6 +149,8 @@ class SimulationEngine:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            event._done = True  # cancel() after this point is a no-op
+            self._live -= 1
             self._now = event.time
             event.callback(self)
             self._processed += 1

@@ -10,6 +10,8 @@ demand stays available for evaluation but is marked as such.
 
 from __future__ import annotations
 
+import hashlib
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -18,9 +20,14 @@ import numpy as np
 from repro.platform_.resources import DIMENSIONS, N_DIMS, ResourceVector
 from repro.util.rng import Seed, as_rng
 from repro.util.timeseries import ResourceSeries
-from repro.util.validation import check_nonnegative
+from repro.util.validation import check_fraction, check_nonnegative
 
-__all__ = ["UsageSample", "TelemetryRecorder"]
+__all__ = [
+    "UsageSample",
+    "FaultEvent",
+    "TelemetryPerturbation",
+    "TelemetryRecorder",
+]
 
 
 @dataclass(frozen=True)
@@ -36,6 +43,98 @@ class UsageSample:
     def usage(self) -> ResourceVector:
         """True consumption: demand clipped at the ceiling."""
         return self.demand.minimum(self.allocation)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault (or fault-handling) event, as seen by the data plane."""
+
+    time: float
+    kind: str
+    detail: str = ""
+
+
+class TelemetryPerturbation:
+    """A windowed measurement fault applied to matching samples.
+
+    Installed by :class:`~repro.faults.injector.FaultInjector`; carries
+    its own seeded generator so the perturbed samples are a pure
+    function of ``(plan seed, fault index, record order)``.
+
+    Parameters
+    ----------
+    kind:
+        ``"dropout"`` (samples vanish with probability ``rate``) or
+        ``"noise"`` (extra Gaussian noise ``std`` plus optional spikes).
+    start / end:
+        Active window ``[start, end)`` in simulation seconds.
+    session / node:
+        Targeting: ``session`` is a session-id prefix, ``node`` matches
+        the ``…@<node>`` suffix of cluster session ids; ``"*"`` = all.
+    """
+
+    def __init__(
+        self,
+        *,
+        kind: str,
+        start: float,
+        end: float = math.inf,
+        rate: float = 1.0,
+        std: float = 0.0,
+        spike_prob: float = 0.0,
+        spike_scale: float = 25.0,
+        session: str = "*",
+        node: str = "*",
+        seed: Seed = 0,
+    ):
+        if kind not in ("dropout", "noise"):
+            raise ValueError(f"unknown perturbation kind {kind!r}")
+        check_nonnegative("start", start)
+        check_fraction("rate", rate)
+        check_nonnegative("std", std)
+        check_fraction("spike_prob", spike_prob)
+        self.kind = kind
+        self.start = float(start)
+        self.end = float(end)
+        self.rate = float(rate)
+        self.std = float(std)
+        self.spike_prob = float(spike_prob)
+        self.spike_scale = float(spike_scale)
+        self.session = session
+        self.node = node
+        self._rng = as_rng(seed)
+        self.hits = 0  # samples this perturbation actually touched
+
+    def applies(self, time: float, session_id: str) -> bool:
+        """Whether a sample at ``time`` for ``session_id`` is in scope."""
+        if not (self.start <= time < self.end):
+            return False
+        if self.session != "*" and not session_id.startswith(self.session):
+            return False
+        if self.node != "*" and not session_id.endswith(f"@{self.node}"):
+            return False
+        return True
+
+    def apply(self, observed: np.ndarray) -> Optional[np.ndarray]:
+        """Perturb one in-scope sample; ``None`` = the sample is dropped."""
+        if self.kind == "dropout":
+            if self._rng.random() < self.rate:
+                self.hits += 1
+                return None
+            return observed
+        perturbed = observed
+        if self.std > 0:
+            perturbed = perturbed + self._rng.normal(
+                scale=self.std, size=N_DIMS
+            )
+            self.hits += 1
+        if self.spike_prob > 0 and self._rng.random() < self.spike_prob:
+            dim = int(self._rng.integers(N_DIMS))
+            spiked = perturbed.copy()
+            spiked[dim] += self.spike_scale
+            perturbed = spiked
+            self.hits += 1
+        return perturbed
 
 
 class TelemetryRecorder:
@@ -57,7 +156,22 @@ class TelemetryRecorder:
         self._rng = as_rng(seed)
         self._samples: Dict[str, List[UsageSample]] = {}
         self._observed: Dict[str, List[np.ndarray]] = {}
+        self._valid: Dict[str, List[bool]] = {}
         self._times: Dict[str, List[int]] = {}
+        self._perturbations: List[TelemetryPerturbation] = []
+        self.fault_events: List[FaultEvent] = []
+        self.dropped_samples = 0
+
+    # ------------------------------------------------------------------
+    def add_perturbation(self, perturbation: TelemetryPerturbation) -> None:
+        """Install a measurement fault (see :class:`TelemetryPerturbation`)."""
+        self._perturbations.append(perturbation)
+
+    def record_fault_event(
+        self, time: float, kind: str, detail: str = ""
+    ) -> None:
+        """Append one fault event to the run's fault log."""
+        self.fault_events.append(FaultEvent(float(time), kind, detail))
 
     # ------------------------------------------------------------------
     def record(
@@ -67,7 +181,13 @@ class TelemetryRecorder:
         demand: ResourceVector,
         allocation: ResourceVector,
     ) -> ResourceVector:
-        """Record one second; returns the *observed* (noisy) usage."""
+        """Record one second; returns the *observed* (noisy) usage.
+
+        Active perturbations apply in installation order; a dropped
+        sample is stored as a NaN row (masked out of
+        :meth:`observed_window`) and the clean observation is returned —
+        the sensor failed, not the game.
+        """
         sample = UsageSample(int(time), session_id, demand, allocation)
         self._samples.setdefault(session_id, []).append(sample)
         usage = sample.usage.array
@@ -76,7 +196,19 @@ class TelemetryRecorder:
             observed = np.clip(observed, 0.0, 100.0)
         else:
             observed = usage.copy()
-        self._observed.setdefault(session_id, []).append(observed)
+        stored: Optional[np.ndarray] = observed
+        for pert in self._perturbations:
+            if stored is None or not pert.applies(time, session_id):
+                continue
+            stored = pert.apply(stored)
+        valid = stored is not None
+        if valid:
+            stored = np.clip(stored, 0.0, 100.0)
+        else:
+            self.dropped_samples += 1
+            stored = np.full(N_DIMS, np.nan)
+        self._observed.setdefault(session_id, []).append(stored)
+        self._valid.setdefault(session_id, []).append(valid)
         self._times.setdefault(session_id, []).append(int(time))
         return ResourceVector.from_array(observed)
 
@@ -91,7 +223,10 @@ class TelemetryRecorder:
         return len(self._samples.get(session_id, ()))
 
     def observed_series(self, session_id: str) -> ResourceSeries:
-        """Noisy usage telemetry of one session (what the profiler sees)."""
+        """Noisy usage telemetry of one session (what the profiler sees).
+
+        Samples lost to a dropout fault appear as NaN rows.
+        """
         rows = self._observed.get(session_id)
         if not rows:
             raise KeyError(f"no telemetry for session {session_id!r}")
@@ -104,12 +239,25 @@ class TelemetryRecorder:
         """Mean observed usage over the last ``seconds`` samples.
 
         Returns ``None`` when fewer samples exist (a frame needs a full
-        window).
+        window) or when every sample in the window was dropped; samples
+        lost to a dropout fault are masked out of the mean.
         """
         rows = self._observed.get(session_id)
         if rows is None or len(rows) < seconds:
             return None
-        return np.mean(rows[-seconds:], axis=0)
+        window = rows[-seconds:]
+        flags = self._valid[session_id][-seconds:]
+        kept = [row for row, ok in zip(window, flags) if ok]
+        if not kept:
+            return None
+        return np.mean(kept, axis=0)
+
+    def valid_fraction(self, session_id: str) -> float:
+        """Fraction of a session's samples that survived dropout."""
+        flags = self._valid.get(session_id)
+        if not flags:
+            raise KeyError(f"no telemetry for session {session_id!r}")
+        return float(sum(flags)) / len(flags)
 
     def true_demand_series(self, session_id: str) -> ResourceSeries:
         """Ground-truth demand (evaluation only — invisible in a real
@@ -164,3 +312,27 @@ class TelemetryRecorder:
     def peak_total_usage(self, horizon: int) -> np.ndarray:
         """Per-dimension max of the summed usage (Fig-9's headline)."""
         return self.total_usage_matrix(horizon).max(axis=0)
+
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """SHA-256 over every observed sample, valid flag and fault event.
+
+        Two runs with the same seeds and the same
+        :class:`~repro.faults.plan.FaultPlan` must produce byte-identical
+        digests — the replay property the chaos CI job asserts.  Dropped
+        samples hash as a sentinel so dropout placement is covered too.
+        """
+        h = hashlib.sha256()
+        for sid in sorted(self._observed):
+            h.update(sid.encode())
+            h.update(np.asarray(self._times[sid], dtype=np.int64).tobytes())
+            h.update(
+                np.asarray(self._valid[sid], dtype=np.bool_).tobytes()
+            )
+            for row, ok in zip(self._observed[sid], self._valid[sid]):
+                h.update(
+                    np.round(row, 6).tobytes() if ok else b"<dropped>"
+                )
+        for ev in self.fault_events:
+            h.update(f"{ev.time:.6f}|{ev.kind}|{ev.detail}\n".encode())
+        return h.hexdigest()

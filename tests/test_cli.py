@@ -40,6 +40,21 @@ class TestParser:
         assert args.nodes == 2 and args.policy == "best-fit"
         assert args.heterogeneous
 
+    def test_chaos_flags(self):
+        args = build_parser().parse_args(
+            ["chaos", "contra", "dota2", "--nodes", "3",
+             "--horizon", "600", "--plan", "plan.json"]
+        )
+        assert args.command == "chaos"
+        assert args.games == ["contra", "dota2"]
+        assert args.nodes == 3 and args.horizon == 600
+        assert args.plan == "plan.json"
+
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos", "contra"])
+        assert args.nodes == 2 and args.plan is None
+        assert args.policy == "round-robin"
+
 
 class TestCommands:
     def test_catalog_lists_games(self, capsys):
@@ -97,3 +112,29 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fleet of 2 nodes" in out
         assert "throughput" in out
+
+    def test_chaos_runs_with_custom_plan(self, capsys, tmp_path):
+        main([
+            "profile", "contra", "-o", str(tmp_path / "contra.profile.json"),
+            "--players", "3", "--sessions", "3", "--seed", "1",
+        ])
+        capsys.readouterr()
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(json.dumps({
+            "seed": 3,
+            "faults": [
+                {"kind": "node-crash", "time": 150.0, "node": "node-1",
+                 "recover_after": 100.0},
+                {"kind": "telemetry-dropout", "time": 0.0, "rate": 0.02,
+                 "duration": 500.0},
+            ],
+        }))
+        code = main([
+            "chaos", "contra", "--nodes", "2", "--horizon", "500",
+            "--plan", str(plan_file), "--profiles-dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loaded fault plan" in out
+        assert "fault-free" in out and "faulted" in out
+        assert "telemetry digest" in out

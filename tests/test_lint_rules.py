@@ -1,4 +1,4 @@
-"""Tests for the ``repro.lint`` invariant checker (rules CG001–CG007)."""
+"""Tests for the ``repro.lint`` invariant checker (rules CG001–CG008)."""
 
 import json
 import subprocess
@@ -337,6 +337,74 @@ class TestCG007:
 
 
 # ----------------------------------------------------------------------
+# CG008 — fault-path accountability
+# ----------------------------------------------------------------------
+
+class TestCG008:
+    def test_flags_silent_substitution_on_fault_path(self, tmp_path):
+        result = lint_source(tmp_path, "cluster/fleet.py", """\
+            def f(node):
+                try:
+                    return node.place()
+                except Exception:
+                    return None
+            """, select=["CG008"])
+        assert rule_ids(result) == ["CG008"]
+
+    def test_reraise_accounts(self, tmp_path):
+        result = lint_source(tmp_path, "faults/injector.py", """\
+            def f(node):
+                try:
+                    return node.place()
+                except Exception:
+                    raise
+            """, select=["CG008"])
+        assert result.ok
+
+    def test_telemetry_log_accounts(self, tmp_path):
+        result = lint_source(tmp_path, "core/scheduler.py", """\
+            def f(node, telemetry):
+                try:
+                    return node.place()
+                except Exception as exc:
+                    telemetry.record_fault_event(0.0, "err", repr(exc))
+                    return None
+            """, select=["CG008"])
+        assert result.ok
+
+    def test_health_transition_accounts(self, tmp_path):
+        result = lint_source(tmp_path, "cluster/fleet.py", """\
+            def f(node, down):
+                try:
+                    return node.place()
+                except Exception:
+                    node.health = down
+                    return None
+            """, select=["CG008"])
+        assert result.ok
+
+    def test_narrow_handlers_are_out_of_scope(self, tmp_path):
+        result = lint_source(tmp_path, "cluster/fleet.py", """\
+            def f(node):
+                try:
+                    return node.place()
+                except KeyError:
+                    return None
+            """, select=["CG008"])
+        assert result.ok
+
+    def test_other_packages_are_out_of_scope(self, tmp_path):
+        result = lint_source(tmp_path, "analysis/mod.py", """\
+            def f(node):
+                try:
+                    return node.place()
+                except Exception:
+                    return None
+            """, select=["CG008"])
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
 # Pragmas
 # ----------------------------------------------------------------------
 
@@ -420,9 +488,10 @@ class TestEngine:
         with pytest.raises(FileNotFoundError):
             lint_paths(["/nonexistent/definitely/missing"])
 
-    def test_registry_has_all_seven_rules(self):
+    def test_registry_has_all_eight_rules(self):
         assert sorted(all_rules()) == [
             "CG001", "CG002", "CG003", "CG004", "CG005", "CG006", "CG007",
+            "CG008",
         ]
 
 
@@ -463,7 +532,7 @@ class TestCLI:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("CG001", "CG007"):
+        for rule_id in ("CG001", "CG008"):
             assert rule_id in out
 
     def test_json_output(self, tmp_path, capsys):
