@@ -10,10 +10,13 @@ Four subcommands cover the operator workflow the paper describes:
   chosen strategy and print throughput/QoS;
 * ``cocg fleet GAME [GAME …]`` — dispatch Poisson arrivals over a small
   heterogeneous fleet;
+* ``cocg serve GAME [GAME …]`` — the fleet behind the serve-layer
+  admission gateway: bounded queues, rate limiting, micro-batched
+  Algorithm-1 dispatch, per-category SLO report (``docs/SERVE.md``);
 * ``cocg chaos GAME [GAME …]`` — the fleet experiment under an injected
   fault plan, reported against the fault-free run (``docs/FAULTS.md``);
 * ``cocg lint [PATH …]`` — run the CoCG invariant checker
-  (:mod:`repro.lint`, rules CG001–CG008) over the codebase.
+  (:mod:`repro.lint`, rules CG001–CG009) over the codebase.
 
 Run ``python -m repro.cli --help`` (or the installed ``cocg`` script).
 """
@@ -33,6 +36,7 @@ __all__ = [
     "cmd_profile",
     "cmd_colocate",
     "cmd_fleet",
+    "cmd_serve",
     "cmd_chaos",
     "cmd_lint",
 ]
@@ -207,6 +211,69 @@ def cmd_fleet(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """``cocg serve``: the fleet behind the admission gateway."""
+    from repro.cluster import ClusterScheduler, FleetExperiment, FleetNode
+    from repro.games.catalog import build_catalog
+    from repro.serve import AdmissionGateway, GatewayConfig, RolloutCache
+
+    catalog = build_catalog()
+    profiles = _load_or_build_profiles(args.games, args)
+    nodes = [
+        FleetNode(
+            f"node-{i}",
+            _make_strategy("cocg"),
+            profiles,
+            seed=args.seed + i,
+        )
+        for i in range(args.nodes)
+    ]
+    cluster = ClusterScheduler(nodes, policy=args.policy)
+    gateway = AdmissionGateway(
+        cluster,
+        config=GatewayConfig(
+            queue_capacity=args.queue_capacity,
+            rate_per_second=args.rate_limit,
+            burst=args.burst,
+            max_queue_seconds=args.max_queue_seconds,
+            micro_batching=not args.no_batching,
+        ),
+    )
+    cluster.attach_gateway(gateway)
+    cache = RolloutCache()
+    for node in nodes:
+        node.strategy.scheduler.attach_rollout_cache(cache)
+    result = FleetExperiment(
+        cluster,
+        [catalog[g] for g in args.games],
+        horizon=args.horizon,
+        rate_per_minute=args.rate,
+        seed=args.seed,
+    ).run()
+    stats = gateway.stats()
+    print(f"\nfleet of {args.nodes} nodes behind the gateway "
+          f"(policy={args.policy}, "
+          f"batching={'off' if args.no_batching else 'on'})")
+    print(f"throughput (Eq 2):  {result.throughput:,.0f} game-seconds")
+    print(f"completed runs:     {result.completed_runs}")
+    print(f"gateway outcomes:   queued={stats['queued']} "
+          f"admitted={stats['admitted']} shed={stats['shed']} "
+          f"dead-lettered={stats['dead_lettered']}")
+    print(f"still queued:       {stats['depth']} "
+          f"({stats['throttled_rounds']} throttled rounds)")
+    if not args.no_batching:
+        b = gateway.batcher.stats()
+        print(f"micro-batching:     {b['evaluations']} shared evaluations, "
+              f"{b['prescreen_rejects']} pre-screen rejects")
+    print(f"rollout cache:      {cache.hits} hits / {cache.misses} misses "
+          f"({cache.hit_rate:.0%})")
+    print("per-category SLO (time in queue):")
+    for line in gateway.slo.summary_lines():
+        print(f"  {line}")
+    print(f"telemetry digest:   {result.telemetry_digest}")
+    return 0
+
+
 def cmd_chaos(args) -> int:
     """``cocg chaos``: the fleet run with vs. without injected faults."""
     import json
@@ -308,6 +375,31 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--profiles-dir", help="cache profiles here")
     f.set_defaults(func=cmd_fleet)
 
+    s = sub.add_parser(
+        "serve", help="fleet behind the serve-layer admission gateway"
+    )
+    s.add_argument("games", nargs="+")
+    s.add_argument("--nodes", type=int, default=3)
+    s.add_argument("--policy", choices=("first-fit", "best-fit", "round-robin"),
+                   default="round-robin")
+    s.add_argument("--rate", type=float, default=4.0, help="arrivals per minute")
+    s.add_argument("--horizon", type=int, default=1800)
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--queue-capacity", type=int, default=64,
+                   help="per-category queue bound (overflow sheds)")
+    s.add_argument("--rate-limit", type=float, default=4.0,
+                   help="dispatch attempts per second (token refill)")
+    s.add_argument("--burst", type=int, default=8, help="token-bucket depth")
+    s.add_argument("--max-queue-seconds", type=float, default=300.0,
+                   help="queue patience before dead-lettering")
+    s.add_argument("--no-batching", action="store_true",
+                   help="naive per-request dispatch (same outcomes, "
+                        "more predictor rollouts)")
+    s.add_argument("--players", type=int, default=4)
+    s.add_argument("--sessions", type=int, default=3)
+    s.add_argument("--profiles-dir", help="cache profiles here")
+    s.set_defaults(func=cmd_serve)
+
     ch = sub.add_parser(
         "chaos", help="fleet experiment under an injected fault plan"
     )
@@ -328,7 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.lint.__main__ import configure_parser as _configure_lint_parser
 
     lint = sub.add_parser(
-        "lint", help="check CoCG invariants (rules CG001-CG008)"
+        "lint", help="check CoCG invariants (rules CG001-CG009)"
     )
     _configure_lint_parser(lint)
     lint.set_defaults(func=cmd_lint)

@@ -142,11 +142,6 @@ class FleetExperiment:
             seed=derive_seed(self._base_seed, "arrivals"),
             horizon=float(horizon),
         )
-        # Renumber requests to experiment-local ids: the global request
-        # counter would otherwise leak between runs in one process, and
-        # session ids (hence telemetry digests) would stop replaying.
-        for i, request in enumerate(self.arrivals.requests):
-            request.request_id = i
 
     # ------------------------------------------------------------------
     def _session_seed(self, request: GameRequest, incarnation: int) -> int:
@@ -215,6 +210,12 @@ class FleetExperiment:
                 violation_num += report.violation_seconds
             degraded += node.qos.total_degraded_seconds()
             digest.update(f"{node.node_id}:{node.telemetry.digest()}\n".encode())
+        if self.cluster.gateway is not None:
+            # Gateway verdicts (queued/shed/admitted/dead-lettered) are
+            # replay-checked exactly like usage samples.
+            digest.update(
+                f"gateway:{self.cluster.gateway.telemetry.digest()}\n".encode()
+            )
         fault_log = list(injector.applied) if injector is not None else []
         return FleetResult(
             completed_runs=completed,

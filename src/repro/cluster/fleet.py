@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 
 from repro.baselines.base import SchedulingStrategy
@@ -36,12 +36,16 @@ from repro.util.rng import Seed, derive_seed
 from repro.util.validation import check_in
 from repro.workloads.requests import GameRequest
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serve imports cluster)
+    from repro.serve.gateway import AdmissionGateway, AdmissionOutcome
+
 __all__ = [
     "NodeHealth",
     "DeadLetter",
     "PendingRequest",
     "FleetNode",
     "ClusterScheduler",
+    "dispatch_order",
 ]
 
 
@@ -262,6 +266,37 @@ class FleetNode:
         )
 
 
+def dispatch_order(
+    nodes: Sequence[FleetNode],
+    policy: str,
+    *,
+    rr_offset: int = 0,
+) -> List[FleetNode]:
+    """The single candidate-order/tie-break policy of the fleet.
+
+    Both direct dispatch (:meth:`ClusterScheduler.dispatch`) and the
+    serve-layer micro-batcher order candidates through this function, so
+    the two paths always agree on where a request lands:
+
+    * ``first-fit`` — healthy nodes in construction order;
+    * ``best-fit`` — healthy nodes by ``(headroom, node id)``: fullest
+      first, with the node id as a deterministic tie-break when two
+      nodes report identical headroom;
+    * ``round-robin`` — the healthy list rotated by ``rr_offset``.
+    """
+    up = [n for n in nodes if n.health is NodeHealth.UP]
+    if policy == "round-robin":
+        if not up:
+            return []
+        k = rr_offset % len(up)
+        return up[k:] + up[:k]
+    if policy == "best-fit":
+        # Try the fullest nodes first: consolidates games so empty
+        # nodes stay empty (bin-packing pressure).
+        return sorted(up, key=lambda n: (n.headroom(), n.node_id))
+    return up  # first-fit
+
+
 class ClusterScheduler:
     """The Fig-1 cloud-game scheduler: routes requests across nodes.
 
@@ -317,7 +352,8 @@ class ClusterScheduler:
         self.backoff_factor = float(backoff_factor)
         self.backoff_cap = float(backoff_cap)
         self._rr = 0
-        self._queue: List[PendingRequest] = []
+        self._queue: List[PendingRequest] = []  # lint: disable=CG009 - bounded by queue_limit in submit()
+        self.gateway: Optional["AdmissionGateway"] = None
         self._incarnations: Dict[int, int] = {}
         self.dead_letters: List[DeadLetter] = []
         self.dispatched = 0
@@ -326,6 +362,17 @@ class ClusterScheduler:
         self.evictions = 0
 
     # ------------------------------------------------------------------
+    def attach_gateway(self, gateway: "AdmissionGateway") -> None:
+        """Front this cluster with a serve-layer admission gateway.
+
+        Once attached, :meth:`submit` and :meth:`pump` route through the
+        gateway: requests land in its per-category bounded queues under
+        token-bucket rate limiting, and overload is *shed* (an explicit
+        outcome in gateway telemetry) instead of silently dead-lettered
+        by the retry queue.  Detach by setting :attr:`gateway` to None.
+        """
+        self.gateway = gateway
+
     def node(self, node_id: str) -> FleetNode:
         """Look a node up by id."""
         for node in self.nodes:
@@ -346,7 +393,7 @@ class ClusterScheduler:
         A ``None`` means every *healthy* node's admission test rejected
         the game right now — the request should be retried later.
         """
-        order = self._candidate_order(request)
+        order = self.candidate_order(request)
         for node in order:
             if node.try_admit(
                 request, time=time, seed=seed, incarnation=incarnation
@@ -356,19 +403,17 @@ class ClusterScheduler:
         self.deferred += 1
         return None
 
-    def _candidate_order(self, request: GameRequest) -> List[FleetNode]:
-        up = [n for n in self.nodes if n.health is NodeHealth.UP]
+    def candidate_order(self, request: GameRequest) -> List[FleetNode]:
+        """Nodes to try for one request, via :func:`dispatch_order`.
+
+        Round-robin advances the rotation cursor per call, so asking for
+        an order *is* taking a dispatch turn (exactly what
+        :meth:`dispatch` and the serve-layer batcher both do).
+        """
+        offset = self._rr
         if self.policy == "round-robin":
-            if not up:
-                return []
-            k = self._rr % len(up)
             self._rr += 1
-            return up[k:] + up[:k]
-        if self.policy == "best-fit":
-            # Try the fullest nodes first: consolidates games so empty
-            # nodes stay empty (bin-packing pressure).
-            return sorted(up, key=lambda n: n.headroom())
-        return up  # first-fit
+        return dispatch_order(self.nodes, self.policy, rr_offset=offset)
 
     # ------------------------------------------------------------------
     # The retry queue
@@ -389,7 +434,17 @@ class ClusterScheduler:
         time: float,
         incarnation: int = 0,
     ) -> bool:
-        """Queue a request for dispatch; False = dead-lettered (full)."""
+        """Queue a request for dispatch; False = dead-lettered/shed.
+
+        With a gateway attached the request goes through admission
+        control instead: it is queued per category (True) or shed
+        (False) according to the gateway's bounds.
+        """
+        if self.gateway is not None:
+            outcome: "AdmissionOutcome" = self.gateway.offer(
+                request, time=time, incarnation=incarnation
+            )
+            return outcome.accepted
         if len(self._queue) >= self.queue_limit:
             self.dead_letters.append(
                 DeadLetter(request, float(time), 0, "queue overflow")
@@ -406,7 +461,12 @@ class ClusterScheduler:
         ``seed_for(request, incarnation)`` supplies the session seed.
         Returns the requests that started; the rest back off
         exponentially until ``max_retries``, then dead-letter.
+
+        With a gateway attached the round is the gateway's instead:
+        micro-batched dispatch over its rate-limited queues.
         """
+        if self.gateway is not None:
+            return self.gateway.pump(time, seed_for)
         started: List[GameRequest] = []
         remaining: List[PendingRequest] = []
         for entry in self._queue:
@@ -438,7 +498,9 @@ class ClusterScheduler:
 
     @property
     def queue_depth(self) -> int:
-        """Requests currently waiting in the retry queue."""
+        """Requests currently waiting (retry queue, or gateway queues)."""
+        if self.gateway is not None:
+            return self.gateway.depth + len(self._queue)
         return len(self._queue)
 
     # ------------------------------------------------------------------

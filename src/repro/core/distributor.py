@@ -19,12 +19,17 @@ admission so much more permissive than whole-game peak reservation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Protocol, Sequence
+from typing import List, Optional, Protocol, Sequence, Tuple
 
 
 from repro.platform_.resources import ResourceVector
 
-__all__ = ["RunningTaskView", "AdmissionDecision", "Distributor"]
+__all__ = [
+    "RunningTaskView",
+    "AdmissionDecision",
+    "BatchEvaluation",
+    "Distributor",
+]
 
 
 class RunningTaskView(Protocol):
@@ -60,6 +65,109 @@ class AdmissionDecision:
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.admitted
+
+
+class BatchEvaluation:
+    """One shared Algorithm-1 pass over a *fixed* running set.
+
+    The expensive inputs of Algorithm 1 — the running tasks' summed
+    current consumption and their rolled-forward worst co-consumption
+    ``M`` — depend only on the running set, not on the newcomer.  A
+    batch evaluation computes each of them at most once (``M`` lazily:
+    only when some candidate survives the current-fit check) and then
+    answers any number of candidate ``(entry, steady)`` pairs, instead
+    of re-rolling every task's predictor per request × node.
+
+    The snapshot is only valid while the running set is unchanged:
+    after an admission or release, begin a new batch via
+    :meth:`Distributor.begin_batch`.  Decisions are byte-identical to
+    per-candidate :meth:`Distributor.can_admit` calls — the sequential
+    path delegates here with a single-use batch.
+    """
+
+    def __init__(self, distributor: "Distributor", running: Sequence[RunningTaskView]):
+        self._distributor = distributor
+        self._running: List[RunningTaskView] = list(running)
+        self._current: Optional[ResourceVector] = None
+        self._worst: Optional[ResourceVector] = None
+        #: Candidates evaluated through this batch (diagnostics).
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    def _current_sum(self) -> ResourceVector:
+        """Lines 3-9: the running tasks' summed current consumption.
+
+        Loading tasks count at their compressible (time-stealable)
+        footprint when the view provides one.
+        """
+        if self._current is None:
+            current = ResourceVector.zeros()
+            for task in self._running:
+                min_alloc = getattr(task, "min_allocation", None)
+                current = current + (
+                    min_alloc() if callable(min_alloc) else task.current_allocation
+                )
+            self._current = current
+        return self._current
+
+    def _worst_coconsumption(self) -> ResourceVector:
+        """Lines 10-25: the max predicted co-consumption ``M``.
+
+        Computed once per batch; each task's rollout is a single
+        ``predicted_peaks(horizon)`` call shared by every candidate.
+        """
+        if self._worst is None:
+            horizon = self._distributor.horizon
+            per_task_peaks: List[List[ResourceVector]] = [
+                task.predicted_peaks(horizon) for task in self._running
+            ]
+            worst = ResourceVector.zeros()
+            for step in range(horizon):
+                step_total = ResourceVector.zeros()
+                for peaks in per_task_peaks:
+                    if peaks:
+                        step_total = step_total + peaks[min(step, len(peaks) - 1)]
+                worst = worst.maximum(step_total)
+            self._worst = worst
+        return self._worst
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        entry_consumption: ResourceVector,
+        steady_peak: ResourceVector,
+    ) -> AdmissionDecision:
+        """Algorithm 1 for one candidate against the shared snapshot."""
+        self.evaluations += 1
+        d = self._distributor
+        budget = d.capacity * (1.0 + d.overshoot_tolerance)
+
+        current = self._current_sum()
+        if not (current + entry_consumption).fits_within(d.capacity):
+            return AdmissionDecision(
+                False,
+                "current co-consumption leaves no room even to boot",
+                predicted_peak=current + entry_consumption,
+            )
+
+        if not self._running:
+            ok = steady_peak.fits_within(budget)
+            return AdmissionDecision(
+                ok,
+                "empty server" if ok else "game exceeds server capacity alone",
+                predicted_peak=steady_peak,
+            )
+
+        predicted = self._worst_coconsumption() + steady_peak
+        if predicted.fits_within(budget):
+            return AdmissionDecision(
+                True, "predicted co-consumption fits", predicted_peak=predicted
+            )
+        return AdmissionDecision(
+            False,
+            "predicted stage peaks collide beyond tolerance",
+            predicted_peak=predicted,
+        )
 
 
 class Distributor:
@@ -114,49 +222,30 @@ class Distributor:
         running:
             Views of the tasks already on the server.
         """
-        budget = self.capacity * (1.0 + self.overshoot_tolerance)
+        # A single-candidate batch: decisions are identical to the batch
+        # path *by construction*, not by parallel maintenance.
+        return self.begin_batch(running).evaluate(entry_consumption, steady_peak)
 
-        # Lines 3–9: sum the running tasks' current consumption.  Loading
-        # tasks are counted at their compressible (time-stealable)
-        # footprint when the view provides one.
-        current = ResourceVector.zeros()
-        for task in running:
-            min_alloc = getattr(task, "min_allocation", None)
-            current = current + (min_alloc() if callable(min_alloc) else task.current_allocation)
-        if not (current + entry_consumption).fits_within(self.capacity):
-            return AdmissionDecision(
-                False,
-                "current co-consumption leaves no room even to boot",
-                predicted_peak=current + entry_consumption,
-            )
+    # ------------------------------------------------------------------
+    def begin_batch(self, running: Sequence[RunningTaskView]) -> BatchEvaluation:
+        """Open a shared evaluation pass over a fixed running set.
 
-        if not running:
-            ok = steady_peak.fits_within(budget)
-            return AdmissionDecision(
-                ok,
-                "empty server" if ok else "game exceeds server capacity alone",
-                predicted_peak=steady_peak,
-            )
+        The returned :class:`BatchEvaluation` answers many candidates
+        with at most one ``predicted_peaks`` rollout per running task.
+        Discard it as soon as the running set changes.
+        """
+        return BatchEvaluation(self, running)
 
-        # Lines 10–25: roll predictions forward and test the max.
-        per_task_peaks: List[List[ResourceVector]] = [
-            task.predicted_peaks(self.horizon) for task in running
-        ]
-        worst = ResourceVector.zeros()
-        for step in range(self.horizon):
-            step_total = ResourceVector.zeros()
-            for peaks in per_task_peaks:
-                if peaks:
-                    step_total = step_total + peaks[min(step, len(peaks) - 1)]
-            worst = worst.maximum(step_total)
+    def can_admit_batch(
+        self,
+        candidates: Sequence[Tuple[ResourceVector, ResourceVector]],
+        running: Sequence[RunningTaskView],
+    ) -> List[AdmissionDecision]:
+        """Evaluate many ``(entry_consumption, steady_peak)`` candidates.
 
-        predicted = worst + steady_peak
-        if predicted.fits_within(budget):
-            return AdmissionDecision(
-                True, "predicted co-consumption fits", predicted_peak=predicted
-            )
-        return AdmissionDecision(
-            False,
-            "predicted stage peaks collide beyond tolerance",
-            predicted_peak=predicted,
-        )
+        Convenience wrapper over :meth:`begin_batch`; all candidates see
+        the same running-set snapshot, so this is only valid when no
+        candidate is actually admitted between evaluations.
+        """
+        batch = self.begin_batch(running)
+        return [batch.evaluate(entry, steady) for entry, steady in candidates]

@@ -142,6 +142,9 @@ class StagePredictor:
         #: Fault-injection switch: while True, :meth:`predict_next`
         #: raises :class:`PredictorBackendError` (see repro.faults).
         self.failure_injected: bool = False
+        #: Completed :meth:`rollout` calls — the unit the serve-layer
+        #: rollout cache saves; benchmarks compare it across paths.
+        self.rollout_count: int = 0
 
     # ------------------------------------------------------------------
     # Training
@@ -268,6 +271,43 @@ class StagePredictor:
         best = int(np.argmax(proba))
         label = int(model.classes_[best])
         return self.builder.types[label], float(proba[best])
+
+    def rollout(
+        self,
+        exec_history: Sequence[StageTypeId],
+        steps: int,
+        *,
+        start: Optional[StageTypeId],
+        player_id: Optional[str] = None,
+    ) -> List[StageTypeId]:
+        """Roll the stage chain forward ``steps`` iterations.
+
+        This is the distributor's Algorithm-1 horizon walk: starting
+        from ``start`` (the believed or predicted current stage), feed
+        the growing history back into :meth:`predict_next` and collect
+        the visited stage types.  A broken backend degrades each step to
+        :meth:`prior_prediction` — deliberately without touching any
+        circuit breaker, because admission rollouts may run once per
+        queued request per round and must not flap session health.
+
+        Returns an empty chain when ``start`` is ``None`` (no stage
+        belief yet); otherwise exactly ``steps`` types.  Each completed
+        call increments :attr:`rollout_count`.
+        """
+        if start is None:
+            return []
+        self.rollout_count += 1
+        chain: List[StageTypeId] = []
+        hist = list(exec_history)
+        current = start
+        for _ in range(steps):
+            chain.append(current)
+            hist.append(current)
+            try:
+                current, _conf = self.predict_next(hist, player_id=player_id)
+            except PredictorBackendError:
+                current, _conf = self.prior_prediction()
+        return chain
 
     def prior_prediction(self) -> Tuple[StageTypeId, float]:
         """Model-free prediction from the stage-history prior.

@@ -21,7 +21,7 @@ replacement after repeated errors.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -44,7 +44,44 @@ from repro.platform_.resources import ResourceVector
 from repro.sim.telemetry import TelemetryRecorder
 from repro.streaming.encoder import EncoderModel
 
-__all__ = ["CoCGConfig", "CoCGScheduler", "SessionControl", "Decision"]
+__all__ = [
+    "CoCGConfig",
+    "CoCGScheduler",
+    "SessionControl",
+    "Decision",
+    "RolloutMemo",
+]
+
+
+class RolloutMemo(Protocol):
+    """A shared predictor-rollout memo (``repro.serve.rollout_cache``).
+
+    Keyed by ``(session id, epoch, horizon)``: the epoch is the
+    session's stage-transition counter, so entries from before a
+    transition can never answer for the state after it.  Defined here as
+    a Protocol so :mod:`repro.core` stays import-free of the serve
+    layer.
+    """
+
+    def get(
+        self, session_id: str, epoch: int, horizon: int
+    ) -> Optional[List[ResourceVector]]:
+        """Return the memoized peaks, or ``None`` on a miss."""
+        ...
+
+    def put(
+        self,
+        session_id: str,
+        epoch: int,
+        horizon: int,
+        peaks: List[ResourceVector],
+    ) -> None:
+        """Memoize one rollout's peaks."""
+        ...
+
+    def invalidate(self, session_id: str) -> None:
+        """Drop every entry of one session (stage transition/release)."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -159,6 +196,11 @@ class SessionControl:
         self.degraded_logged: bool = False
         self.prior_served: int = 0
         self._peaks_cache: Dict[int, List[ResourceVector]] = {}
+        #: Bumped on every control-visible state change; rollout-cache
+        #: entries are keyed by it so stale epochs can never answer.
+        self.rollout_epoch: int = 0
+        #: Optional shared memo (attached by the serve layer).
+        self.rollout_cache: Optional[RolloutMemo] = None
         self.desired: ResourceVector = planner.for_loading()
         # Prime the first prediction from the empty history.
         self._predict_next(now)
@@ -254,36 +296,54 @@ class SessionControl:
             return self.planner.throttled_loading(self.steal_fraction)
         return self.desired
 
+    def invalidate_rollouts(self) -> None:
+        """Drop every memoized rollout of this session.
+
+        Called whenever control-visible state may change (each control
+        visit, release): the local per-tick cache is cleared and the
+        session's epoch is bumped, which orphans any entries a shared
+        :class:`RolloutMemo` still holds.
+        """
+        self._peaks_cache.clear()
+        self.rollout_epoch += 1
+        if self.rollout_cache is not None:
+            self.rollout_cache.invalidate(self.session.session_id)
+
     def predicted_peaks(self, horizon: int) -> List[ResourceVector]:
         """Rolled-forward allocation peaks for the distributor.
 
-        Cached between control ticks: the rollout only depends on state
-        the 5-second control loop mutates, while the distributor may ask
-        for it once per queued request per admission round.
+        Memoized between control ticks: the rollout only depends on
+        state the 5-second control loop mutates, while the distributor
+        may ask for it once per queued request per admission round.
+        When a shared :class:`RolloutMemo` is attached it answers first
+        (so the serve layer's hit/miss counters see every lookup);
+        otherwise a session-local cache serves repeats.
         """
-        cached = self._peaks_cache.get(horizon)
-        if cached is not None:
+        cache = self.rollout_cache
+        if cache is not None:
+            sid = self.session.session_id
+            cached = cache.get(sid, self.rollout_epoch, horizon)
+            if cached is None:
+                cached = self._compute_peaks(horizon)
+                cache.put(sid, self.rollout_epoch, horizon, cached)
             return cached
-        peaks: List[ResourceVector] = []
-        hist = list(self.exec_history)
-        current = self.believed if self.phase == "execution" else self.predicted
-        for _ in range(horizon):
-            if current is None:
-                peaks.append(self.desired)
-                break
-            peaks.append(self.planner.for_execution(current, redundancy=False))
-            hist.append(current)
-            try:
-                current, _conf = self.predictor.predict_next(
-                    hist, player_id=self.player_id
-                )
-            except PredictorBackendError:
-                # Degraded rollout: repeat the prior instead of the model.
-                # Deliberately does not touch the breaker — the rollout
-                # may run once per queued request per admission round.
-                current, _conf = self.predictor.prior_prediction()
-        self._peaks_cache[horizon] = peaks
-        return peaks
+        local = self._peaks_cache.get(horizon)
+        if local is None:
+            local = self._compute_peaks(horizon)
+            self._peaks_cache[horizon] = local
+        return local
+
+    def _compute_peaks(self, horizon: int) -> List[ResourceVector]:
+        """One uncached rollout: walk the predicted stage chain and map
+        each stage to its (margin-free) execution plan."""
+        start = self.believed if self.phase == "execution" else self.predicted
+        chain = self.predictor.rollout(
+            self.exec_history, horizon, start=start, player_id=self.player_id
+        )
+        if not chain:
+            # No stage belief yet: the current ceiling is the best guess.
+            return [self.desired]
+        return [self.planner.for_execution(t, redundancy=False) for t in chain]
 
 
 class CoCGScheduler:
@@ -318,6 +378,9 @@ class CoCGScheduler:
         self.decision_log: List[Decision] = []
         self.rejections = 0
         self.admissions = 0
+        #: Shared rollout memo (attached by the serve layer, if any).
+        self.rollout_cache: Optional[RolloutMemo] = None
+        self._terms_cache: Dict[str, Tuple[ResourceVector, ResourceVector]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -339,6 +402,53 @@ class CoCGScheduler:
             encoder=self.config.stream_encoder,
         )
 
+    def _admission_planner(
+        self, profile: GameProfile
+    ) -> Tuple[str, AllocationPlanner]:
+        """The backend (category rotation head) and planner admission uses."""
+        backend = next(
+            (
+                b
+                for b in backend_rotation(profile.spec.category)
+                if b in profile.predictors
+            ),
+            next(iter(profile.predictors)),
+        )
+        return backend, self._make_planner(profile, backend)
+
+    def admission_terms(
+        self, profile: GameProfile
+    ) -> Tuple[ResourceVector, ResourceVector]:
+        """The newcomer's Algorithm-1 terms for one game.
+
+        Returns ``(entry_min, steady_peak)``: the throttled boot
+        footprint (the boot itself is compressible — time stealing
+        applies to it too) and the frame-weighted typical play ceiling.
+        Both are pure functions of the game's profile, so they are
+        memoized per game; the serve-layer batcher calls this once per
+        candidate without re-deriving planners.
+        """
+        name = profile.spec.name
+        cached = self._terms_cache.get(name)
+        if cached is None:
+            _backend, planner = self._admission_planner(profile)
+            cached = (
+                planner.throttled_loading(self.config.regulator.steal_fraction),
+                self._typical_plan(planner),
+            )
+            self._terms_cache[name] = cached
+        return cached
+
+    def task_views(self) -> List[SessionControl]:
+        """The running set as Algorithm-1 task views (batcher input)."""
+        return list(self._sessions.values())
+
+    def attach_rollout_cache(self, cache: RolloutMemo) -> None:
+        """Share a rollout memo across this scheduler's sessions."""
+        self.rollout_cache = cache
+        for ctl in self._sessions.values():
+            ctl.rollout_cache = cache
+
     # ------------------------------------------------------------------
     # Admission (the distributor front end)
     # ------------------------------------------------------------------
@@ -351,22 +461,11 @@ class CoCGScheduler:
         gpu_index: Optional[int] = None,
     ) -> AdmissionDecision:
         """Algorithm-1 admission; on success the session is placed."""
-        backend = next(
-            (
-                b
-                for b in backend_rotation(profile.spec.category)
-                if b in profile.predictors
-            ),
-            next(iter(profile.predictors)),
-        )
-        planner = self._make_planner(profile, backend)
+        backend, planner = self._admission_planner(profile)
         entry = planner.for_loading()
-        # The boot itself is compressible (time stealing applies to it
-        # too), so admission tests the throttled footprint.
-        entry_min = planner.throttled_loading(self.config.regulator.steal_fraction)
-        steady = self._typical_plan(planner)
+        entry_min, steady = self.admission_terms(profile)
         decision = self.distributor.can_admit(
-            entry_min, steady, list(self._sessions.values())
+            entry_min, steady, self.task_views()
         )
         if not decision.admitted:
             self.rejections += 1
@@ -398,6 +497,7 @@ class CoCGScheduler:
         )
         if not self.config.use_redundancy:
             ctl.planner.set_accuracy(1.0)  # zero Eq-1 margin
+        ctl.rollout_cache = self.rollout_cache
         ctl.desired = entry
         self._sessions[session.session_id] = ctl
         self.admissions += 1
@@ -428,6 +528,7 @@ class CoCGScheduler:
     def release(self, session_id: str, *, time: float = 0.0) -> None:
         """Remove a finished/aborted session."""
         if session_id in self._sessions:
+            self._sessions[session_id].invalidate_rollouts()
             del self._sessions[session_id]
             self.allocator.release(session_id, time=time)
             self._now = time
@@ -472,7 +573,7 @@ class CoCGScheduler:
     def _control_session(
         self, ctl: SessionControl, window: np.ndarray, interval: int
     ) -> None:
-        ctl._peaks_cache.clear()  # state may change below
+        ctl.invalidate_rollouts()  # state may change below
         self._last_window = window
         if ctl.health.state is not BreakerState.CLOSED:
             # Open breaker: the model chain is distrusted.  Probe once

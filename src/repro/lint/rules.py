@@ -1,4 +1,4 @@
-"""The CoCG invariant rules, CG001–CG008.
+"""The CoCG invariant rules, CG001–CG009.
 
 Each rule protects one convention the interpreter cannot enforce but the
 reproduction's correctness depends on (see ``docs/LINT.md`` for the full
@@ -13,12 +13,14 @@ CG005     no wall-clock reads inside ``sim`` (use the engine clock)
 CG006     no bare/swallowed exceptions in scheduler/distributor paths
 CG007     resource dimensions come from the canonical constants
 CG008     fault paths re-raise, log to telemetry, or transition health
+CG009     queues in ``serve``/``cluster`` declare an explicit bound
 ========  ==============================================================
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from typing import Optional, Union
 
 from repro.lint.registry import FileContext, Rule, register
@@ -32,6 +34,7 @@ __all__ = [
     "ExceptionHygiene",
     "CanonicalDimensions",
     "FaultPathAccountability",
+    "BoundedQueues",
 ]
 
 _FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
@@ -665,4 +668,110 @@ class FaultPathAccountability(Rule):
         if broad and not self._accounts(node.body):
             self.report(node, "broad handler on a fault path must re-raise, "
                               "log to telemetry, or transition a health state")
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# CG009
+# ----------------------------------------------------------------------
+
+_QUEUE_NAME = re.compile(r"queue|backlog", re.IGNORECASE)
+
+
+@register
+class BoundedQueues(Rule):
+    """CG009 — queues on the serving path declare an explicit bound.
+
+    An unbounded queue in ``serve/`` or ``cluster/`` is a latent OOM and
+    an unbounded-latency bug: under the open-loop arrival rates the
+    serve layer exists to survive, anything that buffers requests
+    without a capacity silently converts overload into memory growth
+    and multi-minute queueing delays instead of an explicit *shed*
+    verdict.  Two shapes are flagged:
+
+    * ``deque(...)`` constructed without a ``maxlen=`` keyword
+      (including ``collections.deque`` and import aliases);
+    * an empty-list initialiser (``x = []`` / ``x = list()``) whose
+      target name contains ``queue`` or ``backlog``.
+
+    Queues whose bound is enforced elsewhere (e.g. a capacity check in
+    the producer) carry a pragma naming the bound::
+
+        self._queue = []  # lint: disable=CG009 - bounded by queue_limit in submit()
+    """
+
+    rule_id = "CG009"
+    name = "bounded-queues"
+    description = ("unbounded queue in serve/cluster: deque without maxlen, "
+                   "or queue/backlog-named list; declare the bound or pragma it")
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        return ctx.in_subpackage("serve", "cluster")
+
+    def check(self) -> None:
+        self._deque_aliases: set[str] = set()       # from collections import deque
+        self._collections_aliases: set[str] = set()  # import collections [as c]
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "collections":
+                        self._collections_aliases.add(alias.asname or "collections")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "collections":
+                    for alias in node.names:
+                        if alias.name == "deque":
+                            self._deque_aliases.add(alias.asname or "deque")
+        self.visit(self.ctx.tree)
+
+    def _is_deque_call(self, node: ast.Call) -> bool:
+        dotted = _dotted_name(node.func)
+        if dotted is None:
+            return False
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            return parts[0] in self._deque_aliases
+        return (len(parts) == 2 and parts[0] in self._collections_aliases
+                and parts[1] == "deque")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._is_deque_call(node):
+            if not any(kw.arg == "maxlen" for kw in node.keywords):
+                self.report(node, "deque without maxlen= on the serving path; "
+                                  "declare the bound (or pragma the external one)")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _target_name(target: ast.expr) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            return target.id
+        if isinstance(target, ast.Attribute):
+            return target.attr
+        return None
+
+    @staticmethod
+    def _is_empty_list(value: Optional[ast.expr]) -> bool:
+        if isinstance(value, ast.List) and not value.elts:
+            return True
+        return (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "list"
+                and not value.args and not value.keywords)
+
+    def _check_assign_target(self, target: ast.expr,
+                             value: Optional[ast.expr]) -> None:
+        name = self._target_name(target)
+        if (name is not None and _QUEUE_NAME.search(name)
+                and self._is_empty_list(value)):
+            self.report(target, f"queue-named list {name!r} has no bound; "
+                                f"use deque(maxlen=...) or pragma the "
+                                f"enforced capacity")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_assign_target(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_assign_target(node.target, node.value)
         self.generic_visit(node)

@@ -1,0 +1,152 @@
+"""Seeded load generation at serving scale.
+
+:class:`~repro.workloads.requests.PoissonArrivals` draws its stream one
+request at a time and builds a fresh
+:class:`~repro.games.player.PlayerModel` per request — fine for the
+paper's hour-scale experiments, too slow for the ≥100k-request runs the
+serve layer is benchmarked at.  :class:`OpenLoopLoadGen` generates the
+same kind of open-loop stream with vectorized draws and a bounded player
+pool; :class:`ClosedLoopLoadGen` wraps
+:class:`~repro.workloads.requests.ContinuousBacklog` to drive a fixed
+concurrency target instead.  Both are pure functions of their seed:
+identical construction arguments give identical request streams, ids
+included.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Sequence
+
+from repro.games.player import PlayerModel
+from repro.games.spec import GameSpec
+from repro.util.rng import Seed, as_rng
+from repro.workloads.requests import ContinuousBacklog, GameRequest
+
+__all__ = ["OpenLoopLoadGen", "ClosedLoopLoadGen"]
+
+
+class OpenLoopLoadGen:
+    """Vectorized open-loop Poisson arrivals over a game mix.
+
+    Parameters
+    ----------
+    specs:
+        Games to draw from (uniformly).
+    rate_per_second:
+        Expected arrivals per simulated second (serving scale — the
+        workloads module speaks per-minute).
+    seed:
+        Stream seed; the stream is a pure function of it.
+    horizon:
+        Seconds of arrivals to generate.
+    player_pool:
+        Distinct :class:`PlayerModel` instances per game; requests reuse
+        them round-robin, bounding model-construction cost at any
+        request count.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[GameSpec],
+        *,
+        rate_per_second: float = 10.0,
+        seed: Seed = 0,
+        horizon: float = 3600.0,
+        player_pool: int = 32,
+    ):
+        if not specs:
+            raise ValueError("specs must be non-empty")
+        if rate_per_second <= 0:
+            raise ValueError(
+                f"rate_per_second must be > 0, got {rate_per_second}"
+            )
+        if player_pool < 1:
+            raise ValueError(f"player_pool must be >= 1, got {player_pool}")
+        self.specs = list(specs)
+        rng = as_rng(seed)
+        players: Dict[str, List[PlayerModel]] = {
+            spec.name: [
+                PlayerModel(f"lg-{spec.name}-{k}", spec.category, seed=0)
+                for k in range(player_pool)
+            ]
+            for spec in self.specs
+        }
+        self.requests: List[GameRequest] = []
+        expected = int(rate_per_second * horizon)
+        t = 0.0
+        i = 0
+        while True:
+            # Draw gaps in chunks: same stream for any chunk size is NOT
+            # guaranteed across numpy versions for mixed draw kinds, so
+            # gaps, spec picks and script picks use separate bulk draws
+            # per chunk — deterministic for fixed (seed, rate, horizon).
+            chunk = max(1024, expected // 8)
+            gaps = rng.exponential(1.0 / rate_per_second, size=chunk)
+            spec_idx = rng.integers(len(self.specs), size=chunk)
+            script_u = rng.random(size=chunk)
+            done = False
+            for k in range(chunk):
+                t += float(gaps[k])
+                if t >= horizon:
+                    done = True
+                    break
+                spec = self.specs[int(spec_idx[k])]
+                script = spec.scripts[
+                    int(script_u[k] * len(spec.scripts))
+                ].name
+                pool = players[spec.name]
+                # Stream-local ids (0..n-1), like PoissonArrivals.
+                self.requests.append(
+                    GameRequest(spec, script, pool[i % len(pool)], t, i)
+                )
+                i += 1
+            if done:
+                break
+        self._arrivals = [r.arrival for r in self.requests]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def due(self, t0: float, t1: float) -> List[GameRequest]:
+        """Requests arriving in ``[t0, t1)`` (binary search, not a scan)."""
+        lo = bisect.bisect_left(self._arrivals, t0)
+        hi = bisect.bisect_left(self._arrivals, t1)
+        return self.requests[lo:hi]
+
+
+class ClosedLoopLoadGen:
+    """Closed-loop generation: hold ``target`` in-flight runs per game.
+
+    A thin serving-layer face over
+    :class:`~repro.workloads.requests.ContinuousBacklog` (the §V-B2
+    protocol): :meth:`pending` yields the requests needed to restore the
+    concurrency target, and completions are fed back via
+    :meth:`started` / :meth:`finished`.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[GameSpec],
+        *,
+        seed: Seed = 0,
+        target: int = 1,
+    ):
+        self._backlog = ContinuousBacklog(
+            specs, seed=seed, max_concurrent=target
+        )
+        self.generated = 0
+
+    def pending(self, time: float) -> List[GameRequest]:
+        """Requests needed right now to restore the concurrency target."""
+        out = self._backlog.pending(time)
+        self.generated += len(out)
+        return out
+
+    def started(self, request: GameRequest) -> None:
+        """A request was admitted (occupies one slot)."""
+        self._backlog.started(request)
+
+    def finished(self, spec_name: str) -> None:
+        """A run completed (frees one slot)."""
+        self._backlog.finished(spec_name)

@@ -1,0 +1,109 @@
+"""Keyed memo for predictor rollouts (the serve layer's shared cache).
+
+Algorithm 1 rolls every running session's predictor forward ``horizon``
+iterations per admission test.  Within one scheduling tick that rollout
+is a pure function of ``(session, stage-transition epoch, horizon)`` —
+nothing the admission test itself does can change it — so evaluating a
+micro-batch of candidates against the same node should pay for it once.
+
+:class:`RolloutCache` implements the
+:class:`repro.core.scheduler.RolloutMemo` protocol: sessions attach it
+via ``CoCGScheduler.attach_rollout_cache`` and consult it from
+``predicted_peaks``.  Invalidation is *explicit*: every control-visible
+state change bumps the session's epoch and calls :meth:`invalidate`, so
+entries from before a stage transition can never answer for the state
+after it.  Hit/miss/invalidation counters make the cache's value
+measurable (``benchmarks/test_serve_throughput.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.platform_.resources import ResourceVector
+
+__all__ = ["RolloutCache"]
+
+
+class RolloutCache:
+    """Bounded ``(session id, epoch, horizon) -> peaks`` memo.
+
+    Parameters
+    ----------
+    max_entries:
+        Bound on stored rollouts; the oldest entry is evicted first
+        (insertion order — entries of live epochs are re-inserted on
+        the next miss, so eviction only costs a recompute).
+    """
+
+    def __init__(self, *, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: Dict[Tuple[str, int, int], List[ResourceVector]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # RolloutMemo protocol
+    # ------------------------------------------------------------------
+    def get(
+        self, session_id: str, epoch: int, horizon: int
+    ) -> Optional[List[ResourceVector]]:
+        """Return the memoized peaks, or ``None`` (counted as a miss)."""
+        peaks = self._entries.get((session_id, epoch, horizon))
+        if peaks is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return peaks
+
+    def put(
+        self,
+        session_id: str,
+        epoch: int,
+        horizon: int,
+        peaks: List[ResourceVector],
+    ) -> None:
+        """Memoize one rollout, evicting the oldest entry when full."""
+        if len(self._entries) >= self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.evictions += 1
+        self._entries[(session_id, epoch, horizon)] = peaks
+
+    def invalidate(self, session_id: str) -> None:
+        """Drop every entry of one session (stage transition/release)."""
+        stale = [key for key in self._entries if key[0] == session_id]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Counters as a flat dict (for benchmark artifacts)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RolloutCache(entries={len(self._entries)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -25,6 +25,7 @@ from repro.util.validation import check_fraction, check_nonnegative
 __all__ = [
     "UsageSample",
     "FaultEvent",
+    "GatewayEvent",
     "TelemetryPerturbation",
     "TelemetryRecorder",
 ]
@@ -51,6 +52,22 @@ class FaultEvent:
 
     time: float
     kind: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class GatewayEvent:
+    """One admission-gateway outcome (see :mod:`repro.serve.gateway`).
+
+    ``outcome`` is the gateway's verdict (``admitted`` / ``queued`` /
+    ``shed`` / ``dead-lettered`` / …); ``category`` the request's game
+    category.  Gateway events are part of :meth:`TelemetryRecorder.digest`
+    so shed/queue decisions are replay-checked exactly like usage.
+    """
+
+    time: float
+    outcome: str
+    category: str
     detail: str = ""
 
 
@@ -160,6 +177,7 @@ class TelemetryRecorder:
         self._times: Dict[str, List[int]] = {}
         self._perturbations: List[TelemetryPerturbation] = []
         self.fault_events: List[FaultEvent] = []
+        self.gateway_events: List[GatewayEvent] = []
         self.dropped_samples = 0
 
     # ------------------------------------------------------------------
@@ -172,6 +190,14 @@ class TelemetryRecorder:
     ) -> None:
         """Append one fault event to the run's fault log."""
         self.fault_events.append(FaultEvent(float(time), kind, detail))
+
+    def record_gateway_event(
+        self, time: float, outcome: str, category: str, detail: str = ""
+    ) -> None:
+        """Append one admission-gateway outcome to the run's log."""
+        self.gateway_events.append(
+            GatewayEvent(float(time), outcome, category, detail)
+        )
 
     # ------------------------------------------------------------------
     def record(
@@ -335,4 +361,11 @@ class TelemetryRecorder:
                 )
         for ev in self.fault_events:
             h.update(f"{ev.time:.6f}|{ev.kind}|{ev.detail}\n".encode())
+        # Gateway outcomes extend the digest without perturbing it for
+        # runs that have none (the pre-serve digests stay valid).
+        for gev in self.gateway_events:
+            h.update(
+                f"gw|{gev.time:.6f}|{gev.outcome}|{gev.category}|"
+                f"{gev.detail}\n".encode()
+            )
         return h.hexdigest()

@@ -21,8 +21,6 @@ from repro.util.rng import Seed, as_rng, derive_seed
 
 __all__ = ["GameRequest", "ContinuousBacklog", "PoissonArrivals"]
 
-_request_counter = itertools.count()
-
 
 @dataclass
 class GameRequest:
@@ -82,6 +80,11 @@ class ContinuousBacklog:
         self.specs = list(specs)
         self.max_concurrent = int(max_concurrent)
         self._base = seed if isinstance(seed, int) or seed is None else 0
+        # Per-stream id counter: request ids are a pure function of this
+        # stream's call history, never of process-global state, so two
+        # identical runs in one process replay identical ids (and hence
+        # identical session ids, seeds, and telemetry digests).
+        self._next_id = itertools.count()
         self._running: Dict[str, int] = {s.name: 0 for s in self.specs}
         self._players: Dict[str, PlayerModel] = {
             s.name: PlayerModel(f"live-{s.name}", s.category, seed=0) for s in self.specs
@@ -104,7 +107,7 @@ class ContinuousBacklog:
                         script=script,
                         player=self._players[spec.name],
                         arrival=time,
-                        request_id=next(_request_counter),
+                        request_id=next(self._next_id),
                     )
                 )
         return out
@@ -159,9 +162,9 @@ class PoissonArrivals:
             spec = specs[int(rng.integers(len(specs)))]
             script = spec.scripts[int(rng.integers(len(spec.scripts)))].name
             player = PlayerModel(f"arr-{spec.name}-{i}", spec.category, seed=0)
-            self.requests.append(
-                GameRequest(spec, script, player, t, next(_request_counter))
-            )
+            # Stream-local ids (0..n-1): identical construction args give
+            # identical ids no matter what ran earlier in the process.
+            self.requests.append(GameRequest(spec, script, player, t, i))
             i += 1
 
     def due(self, t0: float, t1: float) -> List[GameRequest]:

@@ -1,4 +1,4 @@
-"""Tests for the ``repro.lint`` invariant checker (rules CG001–CG008)."""
+"""Tests for the ``repro.lint`` invariant checker (rules CG001–CG009)."""
 
 import json
 import subprocess
@@ -405,6 +405,84 @@ class TestCG008:
 
 
 # ----------------------------------------------------------------------
+# CG009 — bounded queues on the serving path
+# ----------------------------------------------------------------------
+
+class TestCG009:
+    def test_flags_deque_without_maxlen(self, tmp_path):
+        result = lint_source(tmp_path, "serve/gateway.py", """\
+            from collections import deque
+
+            def build():
+                return deque()
+            """, select=["CG009"])
+        assert rule_ids(result) == ["CG009"]
+
+    def test_flags_aliased_and_dotted_deque(self, tmp_path):
+        result = lint_source(tmp_path, "cluster/fleet.py", """\
+            import collections
+            from collections import deque as dq
+
+            def build():
+                return dq(), collections.deque([1, 2])
+            """, select=["CG009"])
+        assert rule_ids(result) == ["CG009", "CG009"]
+
+    def test_deque_with_maxlen_is_clean(self, tmp_path):
+        result = lint_source(tmp_path, "serve/gateway.py", """\
+            from collections import deque
+
+            def build(capacity):
+                return deque(maxlen=capacity)
+            """, select=["CG009"])
+        assert result.ok
+
+    def test_flags_queue_named_empty_list(self, tmp_path):
+        result = lint_source(tmp_path, "cluster/fleet.py", """\
+            class C:
+                def __init__(self):
+                    self._queue = []
+                    self.backlog = list()
+            """, select=["CG009"])
+        assert rule_ids(result) == ["CG009", "CG009"]
+
+    def test_flags_annotated_queue_list(self, tmp_path):
+        result = lint_source(tmp_path, "serve/gateway.py", """\
+            class C:
+                def __init__(self):
+                    self.retry_queue: list = []
+            """, select=["CG009"])
+        assert rule_ids(result) == ["CG009"]
+
+    def test_non_queue_names_and_nonempty_lists_are_clean(self, tmp_path):
+        result = lint_source(tmp_path, "serve/slo.py", """\
+            class C:
+                def __init__(self):
+                    self.samples = []
+                    self.queue_limits = [1, 2, 3]
+            """, select=["CG009"])
+        assert result.ok
+
+    def test_pragma_names_the_external_bound(self, tmp_path):
+        result = lint_source(tmp_path, "cluster/fleet.py", """\
+            class C:
+                def __init__(self):
+                    self._queue = []  # lint: disable=CG009 - bounded in submit()
+            """, select=["CG009"])
+        assert result.ok
+
+    def test_other_packages_are_out_of_scope(self, tmp_path):
+        result = lint_source(tmp_path, "workloads/requests.py", """\
+            from collections import deque
+
+            def build():
+                queue = []
+                return deque(), queue
+            """, select=["CG009"])
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
 # Pragmas
 # ----------------------------------------------------------------------
 
@@ -488,10 +566,10 @@ class TestEngine:
         with pytest.raises(FileNotFoundError):
             lint_paths(["/nonexistent/definitely/missing"])
 
-    def test_registry_has_all_eight_rules(self):
+    def test_registry_has_all_nine_rules(self):
         assert sorted(all_rules()) == [
             "CG001", "CG002", "CG003", "CG004", "CG005", "CG006", "CG007",
-            "CG008",
+            "CG008", "CG009",
         ]
 
 
