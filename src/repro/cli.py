@@ -16,7 +16,8 @@ Four subcommands cover the operator workflow the paper describes:
 * ``cocg chaos GAME [GAME …]`` — the fleet experiment under an injected
   fault plan, reported against the fault-free run (``docs/FAULTS.md``);
 * ``cocg lint [PATH …]`` — run the CoCG invariant checker
-  (:mod:`repro.lint`, rules CG001–CG009) over the codebase.
+  (:mod:`repro.lint`, per-file rules CG001–CG009 plus the
+  whole-program rules CG010–CG013) over the codebase.
 
 Run ``python -m repro.cli --help`` (or the installed ``cocg`` script).
 """
@@ -420,7 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.lint.__main__ import configure_parser as _configure_lint_parser
 
     lint = sub.add_parser(
-        "lint", help="check CoCG invariants (rules CG001-CG009)"
+        "lint", help="check CoCG invariants (rules CG001-CG013)"
     )
     _configure_lint_parser(lint)
     lint.set_defaults(func=cmd_lint)

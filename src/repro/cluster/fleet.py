@@ -130,9 +130,12 @@ class FleetNode:
                 name: profile.rescaled(platform)
                 for name, profile in profiles.items()
             }
-        self.profiles = profiles
+        # Canonical key order: profile dicts arrive in caller-dependent
+        # order, and every downstream scan (strategy attach, telemetry,
+        # fault matching) must not inherit it.
+        self.profiles = dict(sorted(profiles.items()))
         self.strategy = strategy
-        self.strategy.attach(self.allocator, profiles)
+        self.strategy.attach(self.allocator, self.profiles)
         self.telemetry = TelemetryRecorder(seed=derive_seed(seed, "tel", node_id))
         self.qos = QoSTracker()
         self.sessions: Dict[str, GameSession] = {}
@@ -581,6 +584,6 @@ class ClusterScheduler:
         """Fleet-wide completed runs per game."""
         out: Dict[str, int] = {}
         for node in self.nodes:
-            for game, n in node.completed.items():
+            for game, n in sorted(node.completed.items()):
                 out[game] = out.get(game, 0) + n
         return out

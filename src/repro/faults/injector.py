@@ -64,10 +64,10 @@ class FaultInjector:
     def _match_predictors(self, spec: FaultSpec) -> List["StagePredictor"]:
         found: List["StagePredictor"] = []
         for node in self._match_nodes(spec):
-            for game, profile in node.profiles.items():
+            for game, profile in sorted(node.profiles.items()):
                 if not spec.matches_game(game):
                     continue
-                for backend, predictor in profile.predictors.items():
+                for backend, predictor in sorted(profile.predictors.items()):
                     if spec.matches_backend(backend):
                         found.append(predictor)
         return found

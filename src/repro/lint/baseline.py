@@ -1,0 +1,84 @@
+"""Baseline files: fail CI only on *new* findings.
+
+A baseline is a JSON list of finding fingerprints accepted at some
+point in time.  ``cocg lint --baseline .lint_baseline.json`` subtracts
+them from the report, so introducing the whole-program rules on a large
+tree does not require fixing every historical finding in one PR — only
+regressions fail the build.  ``--update-baseline`` rewrites the file
+from the current findings.
+
+Fingerprints deliberately exclude line/column: ``hash(path|rule|msg)``
+survives unrelated edits shifting a finding a few lines, at the cost of
+treating two identical messages in one file as the same finding — the
+right trade for a tool whose messages embed the offending expression.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from repro.lint.findings import Finding
+
+__all__ = ["fingerprint", "load_baseline", "write_baseline", "apply_baseline"]
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding across unrelated line shifts."""
+    # Normalise the path separator so a baseline written on one OS
+    # still matches on another.
+    path = finding.path.replace("\\", "/")
+    raw = f"{path}|{finding.rule_id}|{finding.message}"
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: Path) -> Dict[str, dict]:
+    """Read a baseline file into ``fingerprint -> recorded finding``.
+
+    A missing file is an empty baseline (first run); a malformed one
+    raises ``ValueError`` so CI fails loudly rather than reporting a
+    falsely clean tree.
+    """
+    if not path.is_file():
+        return {}
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if (not isinstance(payload, dict)
+            or not isinstance(payload.get("findings"), list)):
+        raise ValueError(f"malformed baseline file: {path}")
+    out: Dict[str, dict] = {}
+    for item in payload["findings"]:
+        if not isinstance(item, dict) or "fingerprint" not in item:
+            raise ValueError(f"malformed baseline entry in {path}: {item!r}")
+        out[item["fingerprint"]] = item
+    return out
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Overwrite ``path`` with the given findings; returns how many."""
+    items = []
+    seen = set()
+    for finding in sorted(findings):
+        fp = fingerprint(finding)
+        if fp in seen:
+            continue
+        seen.add(fp)
+        items.append({
+            "fingerprint": fp,
+            "rule_id": finding.rule_id,
+            "path": finding.path.replace("\\", "/"),
+            "message": finding.message,
+        })
+    payload = {"version": 1, "findings": items}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return len(items)
+
+
+def apply_baseline(
+    findings: Iterable[Finding],
+    baseline: Dict[str, dict],
+) -> List[Finding]:
+    """Findings not covered by the baseline (i.e. the new ones)."""
+    return [f for f in findings if fingerprint(f) not in baseline]

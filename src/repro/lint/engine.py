@@ -1,9 +1,25 @@
-"""File discovery, parsing, and rule dispatch.
+"""File discovery, parsing, and two-phase rule dispatch.
 
-:func:`lint_paths` is the library entry point: it expands files and
-directories into ``*.py`` targets, parses each with :mod:`ast`, builds a
-:class:`~repro.lint.registry.FileContext` (including the pragma table),
-runs every applicable rule, and returns a :class:`LintResult`.
+:func:`lint_paths` is the library entry point.  It runs in two phases:
+
+1. **Per-file** — expand files and directories into ``*.py`` targets,
+   parse each with :mod:`ast`, build a
+   :class:`~repro.lint.registry.FileContext` (including the pragma
+   table), and run every applicable CG001–CG009 rule.  Each parsed
+   module is also distilled into a
+   :class:`~repro.lint.project.ModuleSummary` for phase two.  With an
+   incremental :class:`~repro.lint.cache.LintCache`, files whose
+   content hash is unchanged skip this phase entirely — findings and
+   summary come from the cache, and only changed files are re-parsed
+   (:attr:`LintResult.files_reparsed` counts them).
+
+2. **Whole-program** — the summaries form a
+   :class:`~repro.lint.project.ProjectContext` over which the
+   CG010–CG013 rules run taint/reachability queries.  This phase is
+   cheap graph work and is recomputed every run, cached summaries
+   included: a changed module can shift reachability for *unchanged*
+   reverse dependencies, so their project findings must never be
+   replayed from cache.
 
 Rules scope themselves on the file's path *relative to the package
 root*; :func:`_rel_parts` recovers that for installed trees
@@ -17,14 +33,26 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Optional, Sequence, Type
+from typing import Iterable, Optional, Sequence, Set, Tuple, Type
 
+from repro.lint.cache import CacheEntry, LintCache, content_digest
 from repro.lint.findings import Finding
 from repro.lint.pragmas import parse_suppressions
-from repro.lint.registry import FileContext, Rule, resolve_rules
+from repro.lint.project import (
+    ModuleSummary,
+    ProjectContext,
+    summarize_module,
+)
+from repro.lint.registry import (
+    FileContext,
+    Rule,
+    resolve_project_rules,
+    resolve_rules,
+)
 
-# Importing the rules module populates the registry.
+# Importing the rule modules populates both registries.
 import repro.lint.rules  # noqa: F401  (side-effect import)
+import repro.lint.project_rules  # noqa: F401  (side-effect import)
 
 __all__ = ["LintResult", "lint_file", "lint_paths", "iter_python_files"]
 
@@ -41,6 +69,10 @@ class LintResult:
 
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
+    #: Files actually parsed this run — equal to :attr:`files_checked`
+    #: on a cold run, and only the changed files on a warm cached run
+    #: (the whole-program phase reuses cached summaries for the rest).
+    files_reparsed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -71,8 +103,9 @@ def iter_python_files(paths: Sequence[Path]) -> list[tuple[Path, Path]]:
 
 #: Top-level subpackages of ``repro`` that path-scoped rules key on.
 _KNOWN_SUBPACKAGES = {
-    "analysis", "baselines", "cluster", "core", "games", "lint",
-    "mlkit", "platform_", "sim", "streaming", "util", "workloads",
+    "analysis", "baselines", "cluster", "core", "faults", "games",
+    "lint", "mlkit", "platform_", "serve", "sim", "streaming", "util",
+    "workloads",
 }
 
 
@@ -103,19 +136,24 @@ def _rel_parts(file: Path, root: Path) -> tuple[str, ...]:
     return tuple(parts) if parts else (file.name,)
 
 
-def lint_file(
+def _analyze_file(
     file: Path,
     *,
-    root: Optional[Path] = None,
-    rules: Optional[Iterable[Type[Rule]]] = None,
-) -> list[Finding]:
-    """Lint one file and return its findings, sorted by location."""
-    if rules is None:
-        rules = resolve_rules()
-    root = root if root is not None else file.parent
+    root: Path,
+    rules: Iterable[Type[Rule]],
+    source: Optional[str] = None,
+) -> Tuple[list[Finding], Optional[ModuleSummary]]:
+    """Parse one file, run the per-file rules, and summarise it.
+
+    Returns the sorted findings plus the module's whole-program summary
+    (``None`` when the file does not parse — the CG000 finding stands
+    in for it).
+    """
     display = str(file)
+    rel = _rel_parts(file, root)
     try:
-        source = file.read_text(encoding="utf-8")
+        if source is None:
+            source = file.read_text(encoding="utf-8")
         tree = ast.parse(source, filename=display)
     except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
         line = getattr(exc, "lineno", None) or 1
@@ -123,17 +161,32 @@ def lint_file(
         reason = getattr(exc, "msg", None) or str(exc)
         return [Finding(path=display, line=int(line), col=int(col),
                         rule_id=_SYNTAX_RULE_ID,
-                        message=f"file does not parse: {reason}")]
+                        message=f"file does not parse: {reason}")], None
+    suppressions = parse_suppressions(source)
     ctx = FileContext(
-        path=display,
-        rel_parts=_rel_parts(file, root),
-        tree=tree,
-        suppressions=parse_suppressions(source),
+        path=display, rel_parts=rel, tree=tree, suppressions=suppressions,
     )
     for rule_cls in rules:
         if rule_cls.applies_to(ctx):
             rule_cls(ctx).check()
-    return sorted(ctx.findings)
+    summary = summarize_module(
+        tree, path=display, rel_parts=rel, suppressions=suppressions,
+    )
+    return sorted(ctx.findings), summary
+
+
+def lint_file(
+    file: Path,
+    *,
+    root: Optional[Path] = None,
+    rules: Optional[Iterable[Type[Rule]]] = None,
+) -> list[Finding]:
+    """Lint one file (per-file phase only), findings sorted by location."""
+    if rules is None:
+        rules = resolve_rules()
+    root = root if root is not None else file.parent
+    findings, _summary = _analyze_file(file, root=root, rules=rules)
+    return findings
 
 
 def lint_paths(
@@ -141,8 +194,11 @@ def lint_paths(
     *,
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    whole_program: bool = True,
+    cache: Optional[LintCache] = None,
+    only_paths: Optional[Iterable[object]] = None,
 ) -> LintResult:
-    """Lint files and directory trees.
+    """Lint files and directory trees, both phases.
 
     Parameters
     ----------
@@ -150,12 +206,76 @@ def lint_paths(
         Files and/or directories (``str`` or :class:`~pathlib.Path`).
     select / ignore:
         Optional rule-id filters, as in
-        :func:`repro.lint.registry.resolve_rules`.
+        :func:`repro.lint.registry.resolve_rules`; they apply to both
+        phases (``--select CG011`` runs only the whole-program RNG
+        rule).
+    whole_program:
+        Run the CG010–CG013 project phase (default).  Per-file-only
+        mode exists for fixtures that are not meaningful as a project.
+    cache:
+        A loaded :class:`~repro.lint.cache.LintCache`.  The engine
+        consults and updates it; the caller owns
+        :meth:`~repro.lint.cache.LintCache.save`.
+    only_paths:
+        When given, *reported* findings are filtered to these files —
+        the analysis itself still covers every path in ``paths`` so the
+        whole-program phase sees full cross-module context (this backs
+        ``cocg lint --changed``).
     """
+    select = list(select) if select is not None else None
+    ignore = list(ignore) if ignore is not None else None
     rules = resolve_rules(select, ignore)
+    project_rules = resolve_project_rules(select, ignore) if whole_program else []
     result = LintResult()
+    summaries: dict[str, ModuleSummary] = {}
+    live_keys: list[str] = []
+    keep: Optional[Set[str]] = None
+    if only_paths is not None:
+        keep = {str(Path(p).resolve()) for p in only_paths}
+    resolved_of: dict[str, str] = {}
+
     for file, root in iter_python_files([Path(p) for p in paths]):
-        result.findings.extend(lint_file(file, root=root, rules=rules))
         result.files_checked += 1
+        key = str(file.resolve())
+        live_keys.append(key)
+        data = file.read_bytes()
+        digest = content_digest(data)
+        entry = cache.get(key, digest) if cache is not None else None
+        if entry is None:
+            try:
+                source: Optional[str] = data.decode("utf-8")
+            except UnicodeDecodeError:
+                source = None  # _analyze_file re-reads and reports CG000
+            findings, summary = _analyze_file(
+                file, root=root, rules=rules, source=source,
+            )
+            result.files_reparsed += 1
+            if cache is not None:
+                cache.put(key, CacheEntry(
+                    digest=digest, findings=findings, summary=summary,
+                ))
+        else:
+            findings, summary = entry.findings, entry.summary
+        resolved_of[str(file)] = key
+        if summary is not None:
+            resolved_of[summary.path] = key
+            summaries[summary.module] = summary
+        result.findings.extend(findings)
+
+    if project_rules and summaries:
+        project = ProjectContext(summaries)
+        for rule_cls in project_rules:
+            rule = rule_cls(project)
+            rule.check()
+            result.findings.extend(rule.findings)
+
+    if cache is not None:
+        cache.prune(live_keys)
+
+    if keep is not None:
+        result.findings = [
+            f for f in result.findings
+            if resolved_of.get(f.path, str(Path(f.path).resolve())) in keep
+        ]
     result.findings.sort()
     return result

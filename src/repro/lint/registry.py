@@ -21,10 +21,18 @@ __all__ = [
     "FileContext",
     "Rule",
     "register",
+    "register_project",
     "all_rules",
+    "all_project_rules",
     "resolve_rules",
+    "resolve_project_rules",
     "UnknownRuleError",
+    "ANALYZER_VERSION",
 ]
+
+#: Bumped whenever a rule's behaviour changes; part of the incremental
+#: cache signature so stale findings never survive a rule upgrade.
+ANALYZER_VERSION = 2
 
 
 class FileContext:
@@ -102,6 +110,10 @@ class Rule(ast.NodeVisitor):
 #: rule id -> rule class, in registration order.
 _REGISTRY: dict[str, Type[Rule]] = {}
 
+#: rule id -> whole-program rule class (see
+#: :class:`repro.lint.project.ProjectRule`), in registration order.
+_PROJECT_REGISTRY: dict[str, type] = {}
+
 
 class UnknownRuleError(ValueError):
     """Raised when ``--select``/``--ignore`` names a rule that does not
@@ -112,9 +124,20 @@ def register(cls: Type[Rule]) -> Type[Rule]:
     """Class decorator adding a rule to the global registry."""
     if not cls.rule_id:
         raise ValueError(f"{cls.__name__} must set a rule_id")
-    if cls.rule_id in _REGISTRY:
+    if cls.rule_id in _REGISTRY or cls.rule_id in _PROJECT_REGISTRY:
         raise ValueError(f"duplicate rule id {cls.rule_id}")
     _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def register_project(cls: type) -> type:
+    """Class decorator adding a whole-program rule to the registry."""
+    rule_id = getattr(cls, "rule_id", "")
+    if not rule_id:
+        raise ValueError(f"{cls.__name__} must set a rule_id")
+    if rule_id in _REGISTRY or rule_id in _PROJECT_REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id}")
+    _PROJECT_REGISTRY[rule_id] = cls
     return cls
 
 
@@ -123,28 +146,56 @@ def all_rules() -> dict[str, Type[Rule]]:
     return dict(_REGISTRY)
 
 
+def all_project_rules() -> dict[str, type]:
+    """The whole-program registry, id -> class (copy)."""
+    return dict(_PROJECT_REGISTRY)
+
+
+def _resolve(
+    registry: dict,
+    select: Optional[Iterable[str]],
+    ignore: Optional[Iterable[str]],
+) -> list:
+    """Shared select/ignore filtering over one registry.
+
+    Unknown-id validation spans *both* registries: ``--select CG010``
+    must not error merely because CG010 is a whole-program rule, and a
+    typo must fail loudly instead of silently linting nothing.
+    """
+    known = set(_REGISTRY) | set(_PROJECT_REGISTRY)
+    chosen = dict(registry)
+    if select is not None:
+        wanted = list(select)
+        unknown = [r for r in wanted if r not in known]
+        if unknown:
+            raise UnknownRuleError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        chosen = {r: registry[r] for r in registry if r in set(wanted)}
+    if ignore is not None:
+        dropped = list(ignore)
+        unknown = [r for r in dropped if r not in known]
+        if unknown:
+            raise UnknownRuleError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        chosen = {r: c for r, c in chosen.items() if r not in set(dropped)}
+    return list(chosen.values())
+
+
 def resolve_rules(
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
 ) -> list[Type[Rule]]:
-    """Resolve enable/disable options into the rule classes to run.
+    """Resolve enable/disable options into the per-file rules to run.
 
     ``select`` keeps only the named rules; ``ignore`` then removes rules
     from whatever ``select`` produced.  Unknown ids raise
     :class:`UnknownRuleError` so typos fail loudly instead of silently
     linting nothing.
     """
-    chosen = dict(_REGISTRY)
-    if select is not None:
-        wanted = list(select)
-        unknown = [r for r in wanted if r not in _REGISTRY]
-        if unknown:
-            raise UnknownRuleError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
-        chosen = {r: _REGISTRY[r] for r in _REGISTRY if r in set(wanted)}
-    if ignore is not None:
-        dropped = list(ignore)
-        unknown = [r for r in dropped if r not in _REGISTRY]
-        if unknown:
-            raise UnknownRuleError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
-        chosen = {r: c for r, c in chosen.items() if r not in set(dropped)}
-    return list(chosen.values())
+    return _resolve(_REGISTRY, select, ignore)
+
+
+def resolve_project_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> list:
+    """Same select/ignore semantics for the whole-program rules."""
+    return _resolve(_PROJECT_REGISTRY, select, ignore)

@@ -1,12 +1,14 @@
-"""Finding renderers: grep-friendly text and machine-readable JSON."""
+"""Finding renderers: grep-friendly text, machine-readable JSON, and
+SARIF 2.1.0 for GitHub code-scanning annotations."""
 
 from __future__ import annotations
 
 import json
 
 from repro.lint.engine import LintResult
+from repro.lint.registry import all_project_rules, all_rules
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def render_text(result: LintResult) -> str:
@@ -30,3 +32,57 @@ def render_json(result: LintResult) -> str:
         "findings": [finding.to_dict() for finding in result.findings],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: CG000 (syntax error) has no registered rule class; synthesise its
+#: SARIF metadata so results never reference an undeclared rule id.
+_SYNTAX_RULE_META = {
+    "id": "CG000",
+    "name": "syntax-error",
+    "shortDescription": {"text": "file does not parse"},
+}
+
+
+def render_sarif(result: LintResult) -> str:
+    """A SARIF 2.1.0 log (one run), consumable by GitHub code scanning."""
+    rules_meta = [_SYNTAX_RULE_META]
+    combined = {**all_rules(), **all_project_rules()}
+    for rule_id in sorted(combined):
+        cls = combined[rule_id]
+        rules_meta.append({
+            "id": rule_id,
+            "name": cls.name,
+            "shortDescription": {"text": cls.description},
+        })
+    results = []
+    for finding in result.findings:
+        results.append({
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                },
+            }],
+        })
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.lint",
+                    "rules": rules_meta,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

@@ -346,7 +346,8 @@ class AdmissionGateway:
                 resolved.append(entry)
         if resolved:
             gone = {e.seq for e in resolved}
-            for q in self._queues.values():
+            for category in sorted(self._queues):
+                q = self._queues[category]
                 survivors = [e for e in q if e.seq not in gone]
                 if len(survivors) != len(q):
                     q.clear()

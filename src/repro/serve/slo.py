@@ -76,8 +76,8 @@ class SloTracker:
     def outcome_totals(self) -> Dict[str, int]:
         """Fleet-wide outcome counts across every category."""
         totals: Dict[str, int] = {}
-        for per_cat in self._outcomes.values():
-            for outcome, n in per_cat.items():
+        for category in sorted(self._outcomes):
+            for outcome, n in sorted(self._outcomes[category].items()):
                 totals[outcome] = totals.get(outcome, 0) + n
         return totals
 

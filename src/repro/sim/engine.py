@@ -18,7 +18,7 @@ __all__ = ["Event", "SimulationEngine"]
 
 
 @dataclass(order=True)
-class Event:
+class Event:  # lint: disable=CG013 -- engine-internal heap entry, not telemetry
     """A scheduled callback.  Ordering: time, then priority, then FIFO."""
 
     time: float

@@ -535,6 +535,70 @@ class TestPragmas:
             """, select=["CG002"])
         assert rule_ids(result) == ["CG002"]
 
+    def test_multi_rule_pragma_suppresses_both_on_one_line(self, tmp_path):
+        # One line violating two different rules (global RNG draw and
+        # a wall-clock read inside sim/): a single pragma naming both
+        # rule ids silences the line entirely.
+        source = """\
+            import random
+            import time
+
+            def tick():
+                return random.random() + time.time(){pragma}
+            """
+        noisy = lint_source(tmp_path / "noisy", "sim/a.py",
+                            source.format(pragma=""),
+                            select=["CG001", "CG005"])
+        assert sorted(rule_ids(noisy)) == ["CG001", "CG005"]
+        assert noisy.findings[0].line == noisy.findings[1].line == 5
+        clean = lint_source(
+            tmp_path / "clean", "sim/b.py",
+            source.format(pragma="  # lint: disable=CG001,CG005"),
+            select=["CG001", "CG005"])
+        assert clean.ok
+
+    def test_multi_rule_pragma_leaves_unnamed_rule(self, tmp_path):
+        result = lint_source(tmp_path, "sim/mod.py", """\
+            import random
+            import time
+
+            def tick():
+                return random.random() + time.time()  # lint: disable=CG001,CG007
+            """, select=["CG001", "CG005"])
+        assert rule_ids(result) == ["CG005"]
+
+    def test_file_level_pragma_names_multiple_rules(self, tmp_path):
+        result = lint_source(tmp_path, "sim/mod.py", """\
+            # lint: disable=CG001, CG005
+
+            import random
+            import time
+
+            def tick():
+                return random.random() + time.time()
+            """, select=["CG001", "CG005"])
+        assert result.ok
+
+    def test_pragma_cannot_suppress_cg000_syntax_error(self, tmp_path):
+        # The file fails to tokenize, so the pragma table is empty and
+        # the parse failure is always reported — a pragma must never
+        # hide a file the analyzer cannot even read.
+        result = lint_source(
+            tmp_path, "mod.py",
+            "def broken(:  # lint: disable=CG000\n",
+        )
+        assert rule_ids(result) == ["CG000"]
+
+    def test_pragma_on_parsable_line_in_broken_file_is_moot(self, tmp_path):
+        # Even pragmas on *other* lines die with the tokenize failure:
+        # CG000 is the only finding, never suppressed.
+        result = lint_source(tmp_path, "mod.py", """\
+            # lint: disable
+            def broken(:
+                pass
+            """)
+        assert rule_ids(result) == ["CG000"]
+
 
 # ----------------------------------------------------------------------
 # Engine, registry, reporters, CLI
