@@ -1,0 +1,115 @@
+"""Observability overhead benchmark: the obs hooks must stay cheap.
+
+Drives the real serve stack (gateway → micro-batcher → distributor over
+synthetic nodes, reusing :func:`test_serve_throughput.drive`) twice —
+once unobserved (``obs=None``) and once with a full
+:class:`repro.obs.Observer` (shared registry + pump spans) — and checks
+the ISSUE's acceptance bar:
+
+* **behavioural transparency** — the observed run admits exactly the
+  requests the unobserved run admits (gateway telemetry digests match),
+  and two observed runs export byte-identical artifacts;
+* **< 15 % overhead** — best-of-N wall time with observation enabled
+  stays within ``1.15 × unobserved + epsilon``.
+
+Timings land in ``BENCH_obs.json`` (uploaded by the CI serve-smoke
+job next to ``BENCH_serve.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.games.catalog import build_catalog
+from repro.obs import Observer
+from repro.serve.loadgen import OpenLoopLoadGen
+from benchmarks.test_serve_throughput import (
+    GAMES,
+    RATE_PER_SECOND,
+    SEED,
+    drive,
+)
+
+HORIZON = 1000          # simulated seconds (~55k requests)
+REPEATS = 5             # best-of-N to shed scheduler noise
+MAX_OVERHEAD = 0.15     # the ISSUE's budget
+EPSILON = 0.05          # seconds of absolute slack for short runs
+
+
+@pytest.fixture(scope="module")
+def loadgen():
+    catalog = build_catalog()
+    specs = [catalog[name] for name in GAMES]
+    return OpenLoopLoadGen(
+        specs,
+        rate_per_second=RATE_PER_SECOND,
+        seed=SEED,
+        horizon=float(HORIZON),
+        player_pool=16,
+    )
+
+
+def timed_drive(loadgen, *, observed):
+    """One run; returns (elapsed seconds, gateway, observer-or-None)."""
+    obs = Observer() if observed else None
+    t0 = time.perf_counter()
+    gateway, _, _ = drive(loadgen, batched=True, obs=obs, horizon=HORIZON)
+    return time.perf_counter() - t0, gateway, obs
+
+
+def test_obs_overhead(loadgen):
+    # Interleave the repeats so drift (cache warmth, CPU frequency)
+    # hits both modes evenly; keep the best of each.
+    t_off, t_on = [], []
+    digest_off = digest_on = None
+    exports = []
+    for _ in range(REPEATS):
+        dt, gateway, _ = timed_drive(loadgen, observed=False)
+        t_off.append(dt)
+        digest_off = gateway.telemetry.digest()
+        dt, gateway, obs = timed_drive(loadgen, observed=True)
+        t_on.append(dt)
+        digest_on = gateway.telemetry.digest()
+        exports.append((obs.metrics_text(), obs.trace_digest()))
+
+    best_off, best_on = min(t_off), min(t_on)
+    overhead = best_on / best_off - 1.0
+
+    stats = {
+        "horizon": HORIZON,
+        "requests": len(loadgen),
+        "repeats": REPEATS,
+        "seconds_unobserved": round(best_off, 4),
+        "seconds_observed": round(best_on, 4),
+        "overhead_fraction": round(overhead, 4),
+        "budget_fraction": MAX_OVERHEAD,
+        "metric_families": len(exports[-1][0].splitlines()),
+        "trace_digest": exports[-1][1],
+    }
+    Path("BENCH_obs.json").write_text(
+        json.dumps(stats, indent=2, sort_keys=True) + "\n"
+    )
+
+    print(f"\nrequests driven:   {len(loadgen):,}")
+    print(f"unobserved (best): {best_off:.3f}s")
+    print(f"observed (best):   {best_on:.3f}s")
+    print(f"overhead:          {overhead:+.1%} (budget {MAX_OVERHEAD:.0%})")
+
+    # Observation is behaviourally invisible ...
+    assert digest_on == digest_off, (
+        "attaching an Observer changed admission outcomes"
+    )
+    # ... and deterministic: every observed repeat exported identically.
+    assert all(e == exports[0] for e in exports[1:]), (
+        "observed repeats exported different artifacts"
+    )
+    # ... and cheap.
+    assert best_on <= best_off * (1.0 + MAX_OVERHEAD) + EPSILON, (
+        f"observability overhead {overhead:+.1%} exceeds "
+        f"{MAX_OVERHEAD:.0%} budget "
+        f"({best_on:.3f}s observed vs {best_off:.3f}s unobserved)"
+    )

@@ -183,8 +183,13 @@ def loadgen():
     return gen
 
 
-def drive(loadgen, *, batched):
-    """One full gateway run; returns (gateway, counter, cache)."""
+def drive(loadgen, *, batched, obs=None, horizon=HORIZON):
+    """One full gateway run; returns (gateway, counter, cache).
+
+    ``obs`` threads an :class:`repro.obs.Observer` through the gateway
+    (the overhead benchmark drives the same run observed and
+    unobserved); ``horizon`` lets callers shorten the run.
+    """
     from repro.games.catalog import build_catalog
 
     catalog = build_catalog()
@@ -206,6 +211,7 @@ def drive(loadgen, *, batched):
             max_queue_seconds=120.0,
             micro_batching=batched,
         ),
+        obs=obs,
     )
     cluster.attach_gateway(gateway)
 
@@ -213,7 +219,7 @@ def drive(loadgen, *, batched):
         return 0  # synthetic tasks draw nothing
 
     prev = 0.0
-    for t in range(0, HORIZON, PUMP_INTERVAL):
+    for t in range(0, horizon, PUMP_INTERVAL):
         now = float(t)
         for node in nodes:
             node.advance(now)

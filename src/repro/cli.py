@@ -15,9 +15,14 @@ Four subcommands cover the operator workflow the paper describes:
   Algorithm-1 dispatch, per-category SLO report (``docs/SERVE.md``);
 * ``cocg chaos GAME [GAME …]`` — the fleet experiment under an injected
   fault plan, reported against the fault-free run (``docs/FAULTS.md``);
+* ``cocg obs GAME [GAME …]`` — run a gateway-fronted experiment with the
+  deterministic observability pipeline attached and export
+  ``metrics.prom`` + ``trace.json`` (``docs/OBSERVABILITY.md``);
+  ``--check-determinism`` runs twice and verifies the artifacts are
+  byte-identical;
 * ``cocg lint [PATH …]`` — run the CoCG invariant checker
   (:mod:`repro.lint`, per-file rules CG001–CG009 plus the
-  whole-program rules CG010–CG013) over the codebase.
+  whole-program rules CG010–CG014) over the codebase.
 
 Run ``python -m repro.cli --help`` (or the installed ``cocg`` script).
 """
@@ -39,6 +44,7 @@ __all__ = [
     "cmd_fleet",
     "cmd_serve",
     "cmd_chaos",
+    "cmd_obs",
     "cmd_lint",
 ]
 
@@ -216,10 +222,12 @@ def cmd_serve(args) -> int:
     """``cocg serve``: the fleet behind the admission gateway."""
     from repro.cluster import ClusterScheduler, FleetExperiment, FleetNode
     from repro.games.catalog import build_catalog
+    from repro.obs import Observer
     from repro.serve import AdmissionGateway, GatewayConfig, RolloutCache
 
     catalog = build_catalog()
     profiles = _load_or_build_profiles(args.games, args)
+    obs = Observer() if getattr(args, "obs_out", None) else None
     nodes = [
         FleetNode(
             f"node-{i}",
@@ -239,6 +247,7 @@ def cmd_serve(args) -> int:
             max_queue_seconds=args.max_queue_seconds,
             micro_batching=not args.no_batching,
         ),
+        obs=obs,
     )
     cluster.attach_gateway(gateway)
     cache = RolloutCache()
@@ -250,6 +259,7 @@ def cmd_serve(args) -> int:
         horizon=args.horizon,
         rate_per_minute=args.rate,
         seed=args.seed,
+        obs=obs,
     ).run()
     stats = gateway.stats()
     print(f"\nfleet of {args.nodes} nodes behind the gateway "
@@ -272,6 +282,10 @@ def cmd_serve(args) -> int:
     for line in gateway.slo.summary_lines():
         print(f"  {line}")
     print(f"telemetry digest:   {result.telemetry_digest}")
+    if obs is not None:
+        metrics_path, trace_path = obs.write(args.obs_out)
+        print(f"observability:      {metrics_path} + {trace_path} "
+              f"(trace digest {obs.trace_digest()[:16]}…)")
     return 0
 
 
@@ -283,6 +297,7 @@ def cmd_chaos(args) -> int:
     from repro.cluster import ClusterScheduler, FleetNode
     from repro.faults import FaultPlan, default_plan, run_chaos
     from repro.games.catalog import build_catalog
+    from repro.obs import Observer
 
     catalog = build_catalog()
     profiles = _load_or_build_profiles(args.games, args)
@@ -306,6 +321,7 @@ def cmd_chaos(args) -> int:
         ]
         return ClusterScheduler(nodes, policy=args.policy)
 
+    obs = Observer() if getattr(args, "obs_out", None) else None
     report = run_chaos(
         make_cluster,
         [catalog[g] for g in args.games],
@@ -313,11 +329,88 @@ def cmd_chaos(args) -> int:
         horizon=args.horizon,
         rate_per_minute=args.rate,
         seed=args.seed,
+        obs=obs,
     )
     print()
     for line in report.summary_lines():
         print(line)
     print(f"\ntelemetry digest (faulted): {report.faulted.telemetry_digest}")
+    if obs is not None:
+        metrics_path, trace_path = obs.write(args.obs_out)
+        print(f"observability (faulted run): {metrics_path} + {trace_path} "
+              f"(trace digest {obs.trace_digest()[:16]}…)")
+    return 0
+
+
+def cmd_obs(args) -> int:
+    """``cocg obs``: run one observed experiment, export the artifacts.
+
+    Runs the gateway-fronted fleet with the observability pipeline
+    attached and writes ``metrics.prom`` (Prometheus text exposition)
+    and ``trace.json`` (Chrome trace events — load it in Perfetto) under
+    ``--out``.  ``--check-determinism`` repeats the run from the same
+    seeds and fails unless both artifacts come back byte-identical —
+    the same property CI asserts.
+    """
+    from repro.cluster import ClusterScheduler, FleetExperiment, FleetNode
+    from repro.faults import default_plan
+    from repro.games.catalog import build_catalog
+    from repro.obs import Observer
+    from repro.serve import AdmissionGateway
+
+    catalog = build_catalog()
+    profiles = _load_or_build_profiles(args.games, args)
+    plan = (
+        default_plan(
+            args.horizon, seed=args.seed, crash_node=f"node-{args.nodes - 1}"
+        )
+        if args.faults
+        else None
+    )
+
+    def run():
+        obs = Observer()
+        nodes = [
+            FleetNode(
+                f"node-{i}",
+                _make_strategy("cocg"),
+                profiles,
+                seed=args.seed + i,
+            )
+            for i in range(args.nodes)
+        ]
+        cluster = ClusterScheduler(nodes, policy=args.policy)
+        gateway = AdmissionGateway(cluster, obs=obs)
+        cluster.attach_gateway(gateway)
+        result = FleetExperiment(
+            cluster,
+            [catalog[g] for g in args.games],
+            horizon=args.horizon,
+            rate_per_minute=args.rate,
+            seed=args.seed,
+            fault_plan=plan,
+            obs=obs,
+        ).run()
+        return result, obs
+
+    result, obs = run()
+    if args.check_determinism:
+        result2, obs2 = run()
+        same_metrics = obs.metrics_text() == obs2.metrics_text()
+        same_trace = obs.trace_digest() == obs2.trace_digest()
+        same_telemetry = result.telemetry_digest == result2.telemetry_digest
+        print(f"metrics byte-identical across runs: {same_metrics}")
+        print(f"trace digests equal across runs:    {same_trace}")
+        print(f"telemetry digests equal:            {same_telemetry}")
+        if not (same_metrics and same_trace and same_telemetry):
+            raise SystemExit("observability output is not deterministic")
+    metrics_path, trace_path = obs.write(args.out)
+    print(f"metric families:    {len(obs.registry)}")
+    print(f"trace spans:        {len(obs.tracer)} "
+          f"on streams {', '.join(obs.tracer.streams())}")
+    print(f"trace digest:       {obs.trace_digest()}")
+    print(f"wrote:              {metrics_path}")
+    print(f"wrote:              {trace_path}")
     return 0
 
 
@@ -399,6 +492,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--players", type=int, default=4)
     s.add_argument("--sessions", type=int, default=3)
     s.add_argument("--profiles-dir", help="cache profiles here")
+    s.add_argument("--obs-out", metavar="DIR",
+                   help="attach the observability pipeline and write "
+                        "metrics.prom + trace.json here")
     s.set_defaults(func=cmd_serve)
 
     ch = sub.add_parser(
@@ -416,12 +512,39 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--players", type=int, default=4)
     ch.add_argument("--sessions", type=int, default=3)
     ch.add_argument("--profiles-dir", help="cache profiles here")
+    ch.add_argument("--obs-out", metavar="DIR",
+                    help="attach the observability pipeline to the "
+                         "faulted run and write metrics.prom + "
+                         "trace.json here")
     ch.set_defaults(func=cmd_chaos)
+
+    o = sub.add_parser(
+        "obs",
+        help="run an observed experiment; export metrics.prom + trace.json",
+    )
+    o.add_argument("games", nargs="+")
+    o.add_argument("--nodes", type=int, default=2)
+    o.add_argument("--policy", choices=("first-fit", "best-fit", "round-robin"),
+                   default="round-robin")
+    o.add_argument("--rate", type=float, default=2.0, help="arrivals per minute")
+    o.add_argument("--horizon", type=int, default=600)
+    o.add_argument("--seed", type=int, default=0)
+    o.add_argument("--faults", action="store_true",
+                   help="replay the demo fault plan (fault spans in the trace)")
+    o.add_argument("--out", default="obs-out", metavar="DIR",
+                   help="artifact directory (default: obs-out)")
+    o.add_argument("--check-determinism", action="store_true",
+                   help="run twice; fail unless the artifacts are "
+                        "byte-identical")
+    o.add_argument("--players", type=int, default=4)
+    o.add_argument("--sessions", type=int, default=3)
+    o.add_argument("--profiles-dir", help="cache profiles here")
+    o.set_defaults(func=cmd_obs)
 
     from repro.lint.__main__ import configure_parser as _configure_lint_parser
 
     lint = sub.add_parser(
-        "lint", help="check CoCG invariants (rules CG001-CG013)"
+        "lint", help="check CoCG invariants (rules CG001-CG014)"
     )
     _configure_lint_parser(lint)
     lint.set_defaults(func=cmd_lint)

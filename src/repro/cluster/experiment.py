@@ -24,6 +24,7 @@ from repro.cluster.fleet import ClusterScheduler, DeadLetter
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.games.spec import GameSpec
+from repro.obs.observer import Observer
 from repro.sim.engine import SimulationEngine
 from repro.util.rng import Seed, derive_seed
 from repro.workloads.metrics import throughput_eq2
@@ -113,6 +114,12 @@ class FleetExperiment:
         Control/retry period.
     fault_plan:
         Optional fault schedule replayed into the run.
+    obs:
+        Optional :class:`~repro.obs.Observer` wired through the whole
+        stack before the run starts: the cluster (dispatch counters,
+        per-node scheduler spans, QoS, Algorithm-1 counters) and the
+        fault injector (fault counters + windows).  Two runs with the
+        same seed and plan produce byte-identical exports.
     """
 
     def __init__(
@@ -125,6 +132,7 @@ class FleetExperiment:
         seed: Seed = 0,
         detect_interval: int = 5,
         fault_plan: Optional[FaultPlan] = None,
+        obs: Optional[Observer] = None,
     ):
         if horizon < 1:
             raise ValueError(f"horizon must be >= 1, got {horizon}")
@@ -135,6 +143,9 @@ class FleetExperiment:
         self.horizon = int(horizon)
         self.detect_interval = int(detect_interval)
         self.fault_plan = fault_plan
+        self.obs = obs
+        if obs is not None:
+            cluster.attach_observer(obs)
         self._base_seed = seed if isinstance(seed, int) or seed is None else 0
         self.arrivals = PoissonArrivals(
             self.specs,
@@ -155,7 +166,9 @@ class FleetExperiment:
         started_waits: List[float] = []
         injector: Optional[FaultInjector] = None
         if self.fault_plan is not None and len(self.fault_plan):
-            injector = FaultInjector(self.fault_plan, self.cluster, engine)
+            injector = FaultInjector(
+                self.fault_plan, self.cluster, engine, obs=self.obs
+            )
             injector.arm()
 
         for request in self.arrivals.requests:

@@ -27,6 +27,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 from repro.baselines.base import SchedulingStrategy
 from repro.core.pipeline import GameProfile
 from repro.games.session import GameSession
+from repro.obs.naming import (
+    CLUSTER_DISPATCH,
+    CLUSTER_PUMP_ROUNDS,
+    STREAM_CLUSTER,
+)
+from repro.obs.observer import Observer
 from repro.platform_.allocator import Allocator
 from repro.platform_.profile import PlatformProfile, REFERENCE_PLATFORM
 from repro.platform_.qos import QoSTracker
@@ -142,6 +148,25 @@ class FleetNode:
         self.requests: Dict[str, GameRequest] = {}
         self.completed: Dict[str, int] = {}
         self.health = NodeHealth.UP
+
+    # ------------------------------------------------------------------
+    def attach_observer(self, obs: Observer) -> None:
+        """Wire this node's control plane into a shared observer.
+
+        Forwards to the QoS tracker (degraded-seconds counter) and, when
+        the strategy exposes a CoCG scheduler, to the scheduler
+        (decision counters, control spans) and its distributor
+        (Algorithm-1 counters).
+        """
+        self.qos.attach_observer(obs, node=self.node_id)
+        sched = getattr(self.strategy, "scheduler", None)
+        if sched is not None and hasattr(sched, "attach_observer"):
+            sched.attach_observer(obs, node=self.node_id)
+            distributor = getattr(sched, "distributor", None)
+            if distributor is not None and hasattr(
+                distributor, "attach_observer"
+            ):
+                distributor.attach_observer(obs)
 
     # ------------------------------------------------------------------
     def try_admit(
@@ -363,8 +388,51 @@ class ClusterScheduler:
         self.deferred = 0
         self.requeues = 0
         self.evictions = 0
+        self.obs: Optional[Observer] = None
+        self._c_dispatched = None
+        self._c_deferred = None
+        self._c_pump_rounds = None
 
     # ------------------------------------------------------------------
+    def attach_observer(self, obs: Observer) -> None:
+        """Wire the fleet into a shared observer.
+
+        Registers the cluster dispatch counters and forwards to every
+        node (QoS, CoCG scheduler, distributor).  The plain-int
+        ``dispatched``/``deferred`` attributes stay authoritative; the
+        registry mirrors them so ``metrics.prom`` tells the same story.
+        """
+        self.obs = obs
+        dispatch = obs.counter(
+            CLUSTER_DISPATCH,
+            "Fleet dispatch attempts by outcome.",
+            ("outcome",),
+        )
+        self._c_dispatched = dispatch.labels(outcome="dispatched")
+        self._c_deferred = dispatch.labels(outcome="deferred")
+        self._c_pump_rounds = obs.counter(
+            CLUSTER_PUMP_ROUNDS,
+            "Retry-queue pump rounds (the non-gateway path).",
+        )
+        for node in self.nodes:
+            node.attach_observer(obs)
+
+    def note_dispatch(self, outcome: str, *, time: float) -> None:
+        """Count one dispatch attempt (``dispatched`` or ``deferred``).
+
+        The single accounting point for both dispatch paths — direct
+        :meth:`dispatch` and the serve-layer micro-batcher — so the ints
+        and the registry can never drift apart.
+        """
+        if outcome == "dispatched":
+            self.dispatched += 1
+            child = self._c_dispatched
+        else:
+            self.deferred += 1
+            child = self._c_deferred
+        if child is not None:
+            child.inc(time=time)
+
     def attach_gateway(self, gateway: "AdmissionGateway") -> None:
         """Front this cluster with a serve-layer admission gateway.
 
@@ -401,9 +469,9 @@ class ClusterScheduler:
             if node.try_admit(
                 request, time=time, seed=seed, incarnation=incarnation
             ):
-                self.dispatched += 1
+                self.note_dispatch("dispatched", time=time)
                 return node
-        self.deferred += 1
+        self.note_dispatch("deferred", time=time)
         return None
 
     def candidate_order(self, request: GameRequest) -> List[FleetNode]:
@@ -470,6 +538,16 @@ class ClusterScheduler:
         """
         if self.gateway is not None:
             return self.gateway.pump(time, seed_for)
+        if self.obs is not None:
+            self.obs.tick(time)
+            self._c_pump_rounds.inc(time=time)
+            with self.obs.span("cluster.pump", time, stream=STREAM_CLUSTER) as s:
+                started = self._pump_retry_queue(time, seed_for)
+                s.args["started"] = len(started)
+            return started
+        return self._pump_retry_queue(time, seed_for)
+
+    def _pump_retry_queue(self, time: float, seed_for) -> List[GameRequest]:
         started: List[GameRequest] = []
         remaining: List[PendingRequest] = []
         for entry in self._queue:
@@ -565,6 +643,8 @@ class ClusterScheduler:
     # ------------------------------------------------------------------
     def tick(self, t: int) -> None:
         """Advance every live node one second."""
+        if self.obs is not None:
+            self.obs.tick(t)
         for node in self.nodes:
             if node.health is not NodeHealth.DOWN:
                 node.tick(t)

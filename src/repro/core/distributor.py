@@ -22,6 +22,9 @@ from dataclasses import dataclass
 from typing import List, Optional, Protocol, Sequence, Tuple
 
 
+from repro.obs.metrics import CounterChild
+from repro.obs.naming import ALGO1_BATCHES, ALGO1_EVALUATIONS
+from repro.obs.observer import Observer
 from repro.platform_.resources import ResourceVector
 
 __all__ = [
@@ -139,6 +142,15 @@ class BatchEvaluation:
     ) -> AdmissionDecision:
         """Algorithm 1 for one candidate against the shared snapshot."""
         self.evaluations += 1
+        decision = self._decide(entry_consumption, steady_peak)
+        self._distributor.count_evaluation(decision.admitted)
+        return decision
+
+    def _decide(
+        self,
+        entry_consumption: ResourceVector,
+        steady_peak: ResourceVector,
+    ) -> AdmissionDecision:
         d = self._distributor
         budget = d.capacity * (1.0 + d.overshoot_tolerance)
 
@@ -201,6 +213,36 @@ class Distributor:
         self.capacity = capacity
         self.horizon = int(horizon)
         self.overshoot_tolerance = float(overshoot_tolerance)
+        self._c_batches: Optional[CounterChild] = None
+        self._c_eval_true: Optional[CounterChild] = None
+        self._c_eval_false: Optional[CounterChild] = None
+
+    # ------------------------------------------------------------------
+    def attach_observer(self, obs: Observer) -> None:
+        """Count Algorithm-1 work in the shared registry.
+
+        Registers ``cocg_algo1_batches_total`` (shared snapshots opened)
+        and ``cocg_algo1_evaluations_total{admitted}`` (candidate
+        decisions).  Samples are stamped with the registry's clock —
+        whoever drives the run keeps it current via ``obs.tick``.
+        """
+        self._c_batches = obs.counter(
+            ALGO1_BATCHES,
+            "Shared Algorithm-1 snapshots opened (begin_batch).",
+        ).labels()
+        evaluations = obs.counter(
+            ALGO1_EVALUATIONS,
+            "Algorithm-1 candidate evaluations by verdict.",
+            ("admitted",),
+        )
+        self._c_eval_true = evaluations.labels(admitted="true")
+        self._c_eval_false = evaluations.labels(admitted="false")
+
+    def count_evaluation(self, admitted: bool) -> None:
+        """Count one candidate verdict (no-op when unobserved)."""
+        child = self._c_eval_true if admitted else self._c_eval_false
+        if child is not None:
+            child.inc()
 
     # ------------------------------------------------------------------
     def can_admit(
@@ -234,6 +276,8 @@ class Distributor:
         with at most one ``predicted_peaks`` rollout per running task.
         Discard it as soon as the running set changes.
         """
+        if self._c_batches is not None:
+            self._c_batches.inc()
         return BatchEvaluation(self, running)
 
     def can_admit_batch(

@@ -11,12 +11,13 @@ predictor-backend outage).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.cluster.experiment import FleetExperiment, FleetResult
 from repro.cluster.fleet import ClusterScheduler
 from repro.faults.plan import FaultPlan
 from repro.games.spec import GameSpec
+from repro.obs.observer import Observer
 from repro.util.rng import Seed
 
 __all__ = ["ChaosReport", "default_plan", "run_chaos"]
@@ -117,14 +118,17 @@ def run_chaos(
     rate_per_minute: float = 2.0,
     seed: Seed = 0,
     detect_interval: int = 5,
+    obs: Optional[Observer] = None,
 ) -> ChaosReport:
     """Run fault-free and faulted experiments from identical seeds.
 
     ``make_cluster`` must build a *fresh* cluster per call — nodes and
-    strategies are stateful, so the two runs cannot share one.
+    strategies are stateful, so the two runs cannot share one.  An
+    ``obs`` observer, when given, is wired into the *faulted* run only
+    (the baseline stays unobserved so the pair shares nothing).
     """
 
-    def run(fault_plan):
+    def run(fault_plan, run_obs=None):
         return FleetExperiment(
             make_cluster(),
             specs,
@@ -133,8 +137,9 @@ def run_chaos(
             seed=seed,
             detect_interval=detect_interval,
             fault_plan=fault_plan,
+            obs=run_obs,
         ).run()
 
     baseline = run(None)
-    faulted = run(plan)
+    faulted = run(plan, obs)
     return ChaosReport(baseline=baseline, faulted=faulted, plan=plan)

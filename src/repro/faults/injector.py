@@ -11,9 +11,12 @@ seed, so replaying the same plan perturbs byte-identical samples.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.obs.naming import FAULTS_INJECTED, STREAM_FAULTS
+from repro.obs.observer import Observer
 from repro.sim.engine import SimulationEngine
 from repro.sim.telemetry import TelemetryPerturbation
 from repro.util.rng import derive_seed
@@ -40,6 +43,12 @@ class FaultInjector:
         The fleet under attack.
     engine:
         The event loop driving the run.
+    obs:
+        Optional shared :class:`~repro.obs.Observer`.  Each fired fault
+        lands in ``faults_injected_total{kind}`` and becomes a span on
+        the ``faults`` stream — a ``[start, recover)`` window where the
+        spec declares one (node crash with ``recover_after``, telemetry
+        perturbations with a finite ``end``), a point span otherwise.
     """
 
     def __init__(
@@ -47,12 +56,31 @@ class FaultInjector:
         plan: FaultPlan,
         cluster: "ClusterScheduler",
         engine: SimulationEngine,
+        *,
+        obs: Optional[Observer] = None,
     ):
         self.plan = plan
         self.cluster = cluster
         self.engine = engine
+        self.obs = obs
         self.armed = False
         self.applied: List[str] = []
+
+    def _observe(
+        self, kind: str, time: float, end: Optional[float] = None
+    ) -> None:
+        """Count + trace one fired fault (no-op when unobserved)."""
+        if self.obs is None:
+            return
+        self.obs.tick(time)
+        self.obs.counter(
+            FAULTS_INJECTED, "Faults fired into the run by kind.", ("kind",)
+        ).labels(kind=kind).inc(time=time)
+        if end is not None and not math.isfinite(end):
+            end = None
+        self.obs.record_span(
+            f"fault.{kind}", time, end, stream=STREAM_FAULTS, kind=kind
+        )
 
     # ------------------------------------------------------------------
     def _match_nodes(self, spec: FaultSpec) -> List["FleetNode"]:
@@ -110,6 +138,12 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def _arm_node_crash(self, spec: FaultSpec) -> None:
         def fire(engine: SimulationEngine) -> None:
+            self._observe(
+                "node_crash",
+                engine.now,
+                None if spec.recover_after is None
+                else engine.now + spec.recover_after,
+            )
             for node in self._match_nodes(spec):
                 killed = self.cluster.crash_node(
                     node.node_id, engine.now, requeue=spec.requeue
@@ -131,6 +165,7 @@ class FaultInjector:
 
     def _arm_node_transition(self, spec: FaultSpec, action: str) -> None:
         def fire(engine: SimulationEngine) -> None:
+            self._observe(f"node_{action}", engine.now)
             for node in self._match_nodes(spec):
                 if action == "recover":
                     self.cluster.recover_node(node.node_id, engine.now)
@@ -142,6 +177,7 @@ class FaultInjector:
 
     def _arm_session_kill(self, spec: FaultSpec) -> None:
         def fire(engine: SimulationEngine) -> None:
+            self._observe("session_kill", engine.now)
             sid = self.cluster.kill_session(
                 engine.now,
                 node=spec.node,
@@ -175,6 +211,7 @@ class FaultInjector:
             ))
 
         def fire(engine: SimulationEngine) -> None:
+            self._observe(f"telemetry_{kind}", engine.now, spec.end)
             for node in targets:
                 node.telemetry.record_fault_event(
                     engine.now, f"telemetry-{kind}",
@@ -191,6 +228,7 @@ class FaultInjector:
         action = "predictor-fail" if failing else "predictor-recover"
 
         def fire(engine: SimulationEngine) -> None:
+            self._observe(action.replace("-", "_"), engine.now)
             hit = self._match_predictors(spec)
             for predictor in hit:
                 predictor.inject_failure(failing)

@@ -97,7 +97,8 @@ def build_parser() -> argparse.ArgumentParser:
     return configure_parser(argparse.ArgumentParser(
         prog="python -m repro.lint",
         description="CoCG invariant checker "
-                    "(per-file CG001-CG009, whole-program CG010-CG013)",
+                    "(per-file CG001-CG009 and CG014, "
+                    "whole-program CG010-CG013)",
     ))
 
 

@@ -32,7 +32,7 @@ __all__ = [
 
 #: Bumped whenever a rule's behaviour changes; part of the incremental
 #: cache signature so stale findings never survive a rule upgrade.
-ANALYZER_VERSION = 2
+ANALYZER_VERSION = 3
 
 
 class FileContext:

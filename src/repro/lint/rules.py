@@ -1,4 +1,4 @@
-"""The CoCG invariant rules, CG001–CG009.
+"""The CoCG invariant rules, CG001–CG009 and CG014.
 
 Each rule protects one convention the interpreter cannot enforce but the
 reproduction's correctness depends on (see ``docs/LINT.md`` for the full
@@ -14,6 +14,8 @@ CG006     no bare/swallowed exceptions in scheduler/distributor paths
 CG007     resource dimensions come from the canonical constants
 CG008     fault paths re-raise, log to telemetry, or transition health
 CG009     queues in ``serve``/``cluster`` declare an explicit bound
+CG014     module-level counter/total aggregates in ``serve``/``cluster``
+          /``faults`` go through the metrics registry
 ========  ==============================================================
 """
 
@@ -35,6 +37,7 @@ __all__ = [
     "CanonicalDimensions",
     "FaultPathAccountability",
     "BoundedQueues",
+    "RegistryBackedAggregates",
 ]
 
 _FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
@@ -775,3 +778,83 @@ class BoundedQueues(Rule):
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         self._check_assign_target(node.target, node.value)
         self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# CG014
+# ----------------------------------------------------------------------
+
+_AGGREGATE_NAME = re.compile(r"count|counter|total|stats|metric|tally",
+                             re.IGNORECASE)
+_AGGREGATE_CALLS = frozenset({
+    "dict", "list", "set", "defaultdict", "Counter", "OrderedDict",
+})
+
+
+@register
+class RegistryBackedAggregates(Rule):
+    """CG014 — counter-like aggregates go through the metrics registry.
+
+    A bare module-level dict/list named like a counter (``_totals = {}``,
+    ``STATS = defaultdict(int)``) in ``serve/``, ``cluster/`` or
+    ``faults/`` is invisible observability: it accumulates process-global
+    state the exporters never see, it survives across experiments inside
+    one process (two runs share the tally, breaking same-seed
+    determinism), and nothing stamps it with simulation time.  Mutable
+    aggregate accounting on these paths belongs in a
+    :class:`repro.obs.metrics.MetricsRegistry` — registered once by
+    canonical name, labeled, sim-time-stamped, and exported
+    deterministically.
+
+    Flagged: a module **top-level** ``Assign``/``AnnAssign`` whose
+    target name matches ``count|counter|total|stats|metric|tally``
+    (case-insensitive) and whose value is a mutable aggregate — a
+    dict/list/set display or comprehension, or a call to ``dict`` /
+    ``list`` / ``set`` / ``defaultdict`` / ``Counter`` /
+    ``OrderedDict``.  Class- and function-scoped state is exempt (it
+    dies with its owner); genuinely non-metric tables carry a pragma::
+
+        _STAT_NAMES = {...}  # lint: disable=CG014 -- static lookup table, never mutated
+    """
+
+    rule_id = "CG014"
+    name = "registry-backed-aggregates"
+    description = ("module-level counter/total aggregate in serve/cluster/"
+                   "faults; use MetricsRegistry (repro.obs) or pragma it")
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        return ctx.in_subpackage("serve", "cluster", "faults")
+
+    @staticmethod
+    def _is_mutable_aggregate(value: Optional[ast.expr]) -> bool:
+        if isinstance(value, (ast.Dict, ast.List, ast.Set,
+                              ast.DictComp, ast.ListComp, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            dotted = _dotted_name(value.func)
+            if dotted is not None:
+                return dotted.split(".")[-1] in _AGGREGATE_CALLS
+        return False
+
+    def _check_target(self, target: ast.expr,
+                      value: Optional[ast.expr]) -> None:
+        if (isinstance(target, ast.Name)
+                and _AGGREGATE_NAME.search(target.id)
+                and self._is_mutable_aggregate(value)):
+            self.report(
+                target,
+                f"module-level aggregate {target.id!r} bypasses the metrics "
+                f"registry; register it in repro.obs (or pragma a genuinely "
+                f"static table)",
+            )
+
+    def check(self) -> None:
+        # Module top level only: deliberately no recursion into class or
+        # function bodies, whose state dies with its owner.
+        for stmt in self.ctx.tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    self._check_target(target, stmt.value)
+            elif isinstance(stmt, ast.AnnAssign):
+                self._check_target(stmt.target, stmt.value)

@@ -1,0 +1,338 @@
+"""The metrics registry: labeled counters, gauges, fixed-bucket histograms.
+
+Design rules, all in service of *deterministic* observability (same seed
+⇒ byte-identical ``metrics.prom``):
+
+* metrics are registered once by canonical name
+  (:mod:`repro.obs.naming`); re-registering the same name with the same
+  kind/labels returns the existing family, a conflicting signature
+  raises — so two subsystems can share one fleet-wide counter without
+  coordinating construction order;
+* samples are stamped with **simulation time** (passed explicitly, or
+  inherited from :meth:`MetricsRegistry.set_time`) — never wall clock;
+* histogram buckets are fixed at registration, never data-derived;
+* iteration everywhere is sorted (families by name, children by label
+  values), so exports cannot inherit insertion order.
+
+The hot-path cost of an update is one dict lookup (memoised by callers
+holding the child) plus a float add — cheap enough that instrumented
+code stays within the benchmark's overhead budget even when every
+admission increments several counters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs.naming import check_label_name, check_metric_name
+
+__all__ = [
+    "MetricError",
+    "Counter",
+    "CounterChild",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+
+class MetricError(ValueError):
+    """Raised on metric misuse: re-registration with a different
+    signature, unknown/missing labels, or a decreasing counter."""
+
+
+LabelValues = Tuple[str, ...]
+
+
+class _Child:
+    """One labeled sample of a counter or gauge."""
+
+    __slots__ = ("value", "time", "_registry")
+
+    def __init__(self, registry: "MetricsRegistry"):
+        self.value = 0.0
+        self.time: Optional[float] = None
+        self._registry = registry
+
+    def _stamp(self, time: Optional[float]) -> None:
+        self.time = time if time is not None else self._registry.now
+
+    def inc(self, amount: float = 1.0, *, time: Optional[float] = None) -> None:
+        """Add ``amount`` (must be ≥ 0 for counters; checked by caller)."""
+        self.value += amount
+        self._stamp(time)
+
+    def set(self, value: float, *, time: Optional[float] = None) -> None:
+        """Overwrite the sample (gauges only; counters hide this)."""
+        self.value = float(value)
+        self._stamp(time)
+
+
+class _HistogramChild:
+    """One labeled histogram: fixed-bucket counts, sum and count."""
+
+    __slots__ = ("counts", "sum", "count", "time", "_bounds", "_registry")
+
+    def __init__(self, bounds: Tuple[float, ...], registry: "MetricsRegistry"):
+        self._bounds = bounds  # ascending, +inf last
+        self.counts = [0] * len(bounds)
+        self.sum = 0.0
+        self.count = 0
+        self.time: Optional[float] = None
+        self._registry = registry
+
+    def observe(self, value: float, *, time: Optional[float] = None) -> None:
+        """Record one observation into its (first fitting) bucket."""
+        for i, bound in enumerate(self._bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        self.sum += value
+        self.count += 1
+        self.time = time if time is not None else self._registry.now
+
+    def cumulative(self) -> List[int]:
+        """Prometheus-style cumulative bucket counts (``le`` semantics)."""
+        out: List[int] = []
+        acc = 0
+        for c in self.counts:
+            acc += c
+            out.append(acc)
+        return out
+
+
+class _Family:
+    """Common machinery: label handling and sorted child iteration."""
+
+    kind = ""
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Tuple[str, ...],
+        registry: "MetricsRegistry",
+    ):
+        self.name = check_metric_name(name)
+        self.help = help
+        self.labelnames = tuple(check_label_name(n) for n in labelnames)
+        self._registry = registry
+        self._children: Dict[LabelValues, object] = {}
+
+    def _make_child(self) -> object:
+        raise NotImplementedError
+
+    def labels(self, **labelvalues: str):
+        """The child for one label-value combination (created on first
+        use, cached after — hold the child on hot paths)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[n]) for n in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _default_child(self):
+        """The single unlabeled child (for label-less families)."""
+        if self.labelnames:
+            raise MetricError(
+                f"{self.name} declares labels {self.labelnames}; "
+                "use .labels(...)"
+            )
+        return self.labels()
+
+    def samples(self) -> Iterator[Tuple[LabelValues, object]]:
+        """Children in sorted label order (deterministic export)."""
+        for key in sorted(self._children):
+            yield key, self._children[key]
+
+    def signature(self) -> Tuple[str, Tuple[str, ...]]:
+        """What must match on re-registration."""
+        return (self.kind, self.labelnames)
+
+
+class Counter(_Family):
+    """A monotonically increasing count (``*_total``)."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _Child:
+        return _Child(self._registry)
+
+    def inc(self, amount: float = 1.0, *, time: Optional[float] = None) -> None:
+        """Increment the (unlabeled) counter by ``amount`` ≥ 0."""
+        if amount < 0:
+            raise MetricError(f"{self.name}: counters only go up, got {amount}")
+        self._default_child().inc(amount, time=time)
+
+    def labels(self, **labelvalues: str) -> "_CounterChild":
+        child = super().labels(**labelvalues)
+        return child  # type: ignore[return-value]
+
+    @property
+    def value(self) -> float:
+        """Value of the unlabeled counter (0 before the first inc)."""
+        if self.labelnames:
+            raise MetricError(f"{self.name} is labeled; read .labels(...).value")
+        child = self._children.get(())
+        return child.value if child is not None else 0.0
+
+
+# A counter child is a plain _Child but callers should not .set() it;
+# the public alias exists for type readability at instrumented call
+# sites (which hold pre-resolved children on hot paths).
+CounterChild = _Child
+_CounterChild = _Child
+
+
+class Gauge(_Family):
+    """A value that can go up and down (depths, sizes, temperatures)."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _Child:
+        return _Child(self._registry)
+
+    def set(self, value: float, *, time: Optional[float] = None) -> None:
+        """Set the (unlabeled) gauge."""
+        self._default_child().set(value, time=time)
+
+    def add(self, amount: float, *, time: Optional[float] = None) -> None:
+        """Adjust the (unlabeled) gauge by ``amount`` (may be negative)."""
+        self._default_child().inc(amount, time=time)
+
+    @property
+    def value(self) -> float:
+        """Value of the unlabeled gauge (0 before the first set)."""
+        if self.labelnames:
+            raise MetricError(f"{self.name} is labeled; read .labels(...).value")
+        child = self._children.get(())
+        return child.value if child is not None else 0.0
+
+
+class Histogram(_Family):
+    """Fixed-bucket distribution (waits, durations, sizes).
+
+    ``buckets`` are the finite upper bounds, ascending; ``+Inf`` is
+    appended automatically.  Buckets are part of the registration
+    signature: re-registering with different buckets raises.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Tuple[str, ...],
+        registry: "MetricsRegistry",
+        buckets: Sequence[float],
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise MetricError(f"{name}: a histogram needs >= 1 bucket")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise MetricError(f"{name}: buckets must be strictly ascending")
+        if math.isinf(bounds[-1]):
+            bounds = bounds[:-1]
+        self.buckets: Tuple[float, ...] = bounds + (math.inf,)
+        super().__init__(name, help, labelnames, registry)
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets, self._registry)
+
+    def observe(self, value: float, *, time: Optional[float] = None) -> None:
+        """Record one observation on the unlabeled histogram."""
+        self._default_child().observe(value, time=time)
+
+    def signature(self) -> Tuple[str, Tuple[str, ...]]:
+        return (f"histogram{self.buckets}", self.labelnames)
+
+
+class MetricsRegistry:
+    """The process-wide (well: observer-wide) metric namespace.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
+    call registers the family, later calls with the same signature
+    return it, a conflicting signature raises :class:`MetricError`.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+        #: Current simulation time; samples updated without an explicit
+        #: ``time=`` inherit it.  Never wall clock (lint rule CG005/12).
+        self.now: Optional[float] = None
+
+    def set_time(self, time: float) -> None:
+        """Advance the registry clock (monotone max of what it is told)."""
+        self.now = time if self.now is None else max(self.now, float(time))
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, factory, signature) -> _Family:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.signature() != signature:
+                raise MetricError(
+                    f"{name} is already registered as {existing.signature()}, "
+                    f"requested {signature}"
+                )
+            return existing
+        family = factory()
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """Register (or fetch) a counter family."""
+        names = tuple(labelnames)
+        return self._get_or_create(  # type: ignore[return-value]
+            name,
+            lambda: Counter(name, help, names, self),
+            ("counter", names),
+        )
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """Register (or fetch) a gauge family."""
+        names = tuple(labelnames)
+        return self._get_or_create(  # type: ignore[return-value]
+            name,
+            lambda: Gauge(name, help, names, self),
+            ("gauge", names),
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        *,
+        buckets: Sequence[float],
+    ) -> Histogram:
+        """Register (or fetch) a fixed-bucket histogram family."""
+        names = tuple(labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        probe = Histogram(name, help, names, self, bounds)
+        return self._get_or_create(  # type: ignore[return-value]
+            name, lambda: probe, probe.signature()
+        )
+
+    # ------------------------------------------------------------------
+    def families(self) -> List[_Family]:
+        """Registered families, sorted by name (deterministic export)."""
+        return [self._families[n] for n in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[_Family]:
+        """Look one family up by canonical name (``None`` if absent)."""
+        return self._families.get(name)
+
+    def __len__(self) -> int:
+        return len(self._families)

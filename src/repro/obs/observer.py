@@ -1,0 +1,114 @@
+"""The one handle instrumented code holds: registry + tracer together.
+
+Subsystems accept ``obs: Optional[Observer] = None`` and guard every
+touch with ``if obs is not None`` (or hold pre-resolved metric children)
+— so an unobserved run pays one attribute check per hot-path event and
+nothing else.  One :class:`Observer` is typically shared fleet-wide:
+the registry's get-or-create semantics let the gateway, every node's
+scheduler, the cluster dispatcher and the fault injector all register
+into a single namespace without coordinating construction order.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.obs.export import chrome_trace_json, prometheus_text, trace_digest
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+__all__ = ["Observer"]
+
+
+class Observer:
+    """Bundles a :class:`MetricsRegistry` and a :class:`Tracer`.
+
+    Parameters
+    ----------
+    registry / tracer:
+        Pre-built components to share; fresh ones by default.
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    # ------------------------------------------------------------------
+    # Registry conveniences
+    # ------------------------------------------------------------------
+    def tick(self, time: float) -> None:
+        """Advance the sim clock metrics are stamped with."""
+        self.registry.set_time(time)
+
+    def counter(self, name: str, help: str = "", labelnames=()) -> Counter:
+        """Register (or fetch) a counter on the shared registry."""
+        return self.registry.counter(name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames=()) -> Gauge:
+        """Register (or fetch) a gauge on the shared registry."""
+        return self.registry.gauge(name, help, labelnames)
+
+    def histogram(
+        self, name: str, help: str = "", labelnames=(), *, buckets
+    ) -> Histogram:
+        """Register (or fetch) a histogram on the shared registry."""
+        return self.registry.histogram(name, help, labelnames, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    # Tracer conveniences
+    # ------------------------------------------------------------------
+    def span(self, name: str, time: float, *, stream: str = "main", **args):
+        """Context-managed span on the shared tracer."""
+        return self.tracer.span(name, time, stream=stream, **args)
+
+    def record_span(
+        self,
+        name: str,
+        begin: float,
+        end: Optional[float] = None,
+        *,
+        stream: str = "main",
+        **args,
+    ) -> Span:
+        """Complete span (window known up front) on the shared tracer."""
+        return self.tracer.record(name, begin, end, stream=stream, **args)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def metrics_text(self) -> str:
+        """``metrics.prom`` content (Prometheus text exposition)."""
+        return prometheus_text(self.registry)
+
+    def trace_json(self) -> str:
+        """``trace.json`` content (Chrome trace events, Perfetto-loadable)."""
+        return chrome_trace_json(self.tracer)
+
+    def trace_digest(self) -> str:
+        """sha256 of the canonical trace (the CI determinism handle)."""
+        return trace_digest(self.tracer)
+
+    def write(self, out_dir: Union[str, Path]) -> Tuple[Path, Path]:
+        """Write ``metrics.prom`` + ``trace.json`` under ``out_dir``.
+
+        Returns the two paths (metrics first).
+        """
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        metrics_path = out / "metrics.prom"
+        trace_path = out / "trace.json"
+        metrics_path.write_text(self.metrics_text())
+        trace_path.write_text(self.trace_json())
+        return metrics_path, trace_path
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Observer(families={len(self.registry)}, "
+            f"spans={len(self.tracer)})"
+        )

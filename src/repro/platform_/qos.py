@@ -25,6 +25,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.naming import QOS_DEGRADED_SECONDS
+from repro.obs.observer import Observer
 from repro.platform_.resources import ResourceVector
 from repro.util.validation import check_nonnegative, check_positive
 
@@ -138,6 +140,20 @@ class QoSTracker:
         self._fps: Dict[str, List[float]] = {}
         self._best: Dict[str, List[float]] = {}
         self._degraded: Dict[str, int] = {}
+        self._c_degraded = None
+
+    def attach_observer(self, obs: Observer, *, node: str = "") -> None:
+        """Mirror degraded-seconds into ``qos_degraded_seconds_total``.
+
+        The per-session dict stays authoritative (it feeds
+        :meth:`report`); the registry child — one per fleet node — adds
+        the fleet-wide view the Prometheus export needs.
+        """
+        self._c_degraded = obs.counter(
+            QOS_DEGRADED_SECONDS,
+            "Session-seconds spent under degraded (reactive) control.",
+            ("node",),
+        ).labels(node=node)
 
     def note_degraded(self, session_id: str, seconds: int = 1) -> None:
         """Count ``seconds`` of degraded-mode operation for a session."""
@@ -145,6 +161,8 @@ class QoSTracker:
         self._degraded[session_id] = (
             self._degraded.get(session_id, 0) + int(seconds)
         )
+        if self._c_degraded is not None:
+            self._c_degraded.inc(float(seconds))
 
     def degraded_seconds(self, session_id: str) -> int:
         """Seconds the session spent under degraded (reactive) control."""

@@ -34,6 +34,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.core.distributor import BatchEvaluation
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.naming import BATCHER_EVENTS
 
 if TYPE_CHECKING:  # pragma: no cover - cluster imports nothing from here
     from repro.cluster.fleet import ClusterScheduler, FleetNode
@@ -48,26 +50,63 @@ class MicroBatcher:
     One instance lives inside an
     :class:`~repro.serve.gateway.AdmissionGateway`; the gateway calls
     :meth:`begin_round` once per pump and :meth:`dispatch_one` per due
-    request.  Counters expose how much work batching saved.
+    request.  Counters expose how much work batching saved; they live in
+    ``registry`` (the gateway's shared one, or a private registry when
+    ``None``) as ``serve_batcher_events_total{event=...}``, with the
+    historical attribute names kept as read-only views.
     """
 
-    def __init__(self) -> None:
-        self.rounds = 0
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        events = registry.counter(
+            BATCHER_EVENTS,
+            "Micro-batcher activity by event kind.",
+            ("event",),
+        )
+        self._c_rounds = events.labels(event="rounds")
         #: Pre-screen Algorithm-1 evaluations (shared-rollout path).
-        self.evaluations = 0
+        self._c_evaluations = events.labels(event="evaluations")
         #: Candidates the pre-screen rejected — no session was built
         #: and the node's ``try_admit`` was never entered.
-        self.prescreen_rejects = 0
-        self.admissions = 0
+        self._c_prescreen_rejects = events.labels(event="prescreen_rejects")
+        self._c_admissions = events.labels(event="admissions")
         #: Candidate probes that fell back to plain ``try_admit``
         #: (non-CoCG strategy or unknown game profile).
-        self.fallback_probes = 0
+        self._c_fallback_probes = events.labels(event="fallback_probes")
         self._batches: Dict[str, BatchEvaluation] = {}
+
+    # ------------------------------------------------------------------
+    # Counter views (kept for compatibility with pre-registry callers)
+    # ------------------------------------------------------------------
+    @property
+    def rounds(self) -> int:
+        """Batch rounds begun (registry-backed view)."""
+        return int(self._c_rounds.value)
+
+    @property
+    def evaluations(self) -> int:
+        """Pre-screen Algorithm-1 evaluations (registry-backed view)."""
+        return int(self._c_evaluations.value)
+
+    @property
+    def prescreen_rejects(self) -> int:
+        """Candidates rejected before ``try_admit`` (registry-backed)."""
+        return int(self._c_prescreen_rejects.value)
+
+    @property
+    def admissions(self) -> int:
+        """Batched dispatches that stuck (registry-backed view)."""
+        return int(self._c_admissions.value)
+
+    @property
+    def fallback_probes(self) -> int:
+        """Probes that fell back to plain ``try_admit`` (registry view)."""
+        return int(self._c_fallback_probes.value)
 
     # ------------------------------------------------------------------
     def begin_round(self) -> None:
         """Start a fresh batch round: all node snapshots are dropped."""
-        self.rounds += 1
+        self._c_rounds.inc()
         self._batches = {}
 
     @staticmethod
@@ -112,12 +151,12 @@ class MicroBatcher:
                     batch = sched.distributor.begin_batch(sched.task_views())
                     self._batches[node.node_id] = batch
                 entry_min, steady = sched.admission_terms(profile)
-                self.evaluations += 1
+                self._c_evaluations.inc(time=time)
                 if not batch.evaluate(entry_min, steady).admitted:
-                    self.prescreen_rejects += 1
+                    self._c_prescreen_rejects.inc(time=time)
                     continue
             else:
-                self.fallback_probes += 1
+                self._c_fallback_probes.inc(time=time)
             if node.try_admit(
                 request,
                 time=time,
@@ -126,10 +165,10 @@ class MicroBatcher:
             ):
                 # The node's running set changed; its snapshot is stale.
                 self._batches.pop(node.node_id, None)
-                self.admissions += 1
-                cluster.dispatched += 1
+                self._c_admissions.inc(time=time)
+                cluster.note_dispatch("dispatched", time=time)
                 return node
-        cluster.deferred += 1
+        cluster.note_dispatch("deferred", time=time)
         return None
 
     # ------------------------------------------------------------------

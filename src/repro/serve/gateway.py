@@ -32,9 +32,20 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.naming import (
+    GATEWAY_DEFERRALS,
+    GATEWAY_OUTCOMES,
+    GATEWAY_QUEUE_DEPTH,
+    GATEWAY_RETRIES,
+    GATEWAY_THROTTLED_ROUNDS,
+    STREAM_SERVE,
+)
+from repro.obs.observer import Observer
 from repro.serve.batching import MicroBatcher
 from repro.serve.slo import SloTracker
 from repro.sim.telemetry import TelemetryRecorder
@@ -184,6 +195,18 @@ class AdmissionGateway:
         a noise-free private recorder by default.  Its digest is folded
         into the fleet digest by
         :class:`~repro.cluster.experiment.FleetExperiment`.
+    obs:
+        Optional :class:`~repro.obs.Observer`.  When given, every pump
+        round becomes a ``gateway.pump`` span on the ``serve`` stream
+        and the outcome counters land in the shared registry; when
+        ``None`` the counters back onto a private registry (so the
+        ``queued``/``shed``/… views keep working) and no spans are
+        recorded.
+
+    The historical plain-int counters (``queued``, ``shed``,
+    ``admitted``, ``dead_lettered``, ``deferrals``,
+    ``throttled_rounds``) are now read-only views over the registry
+    metrics — same names, same values, one source of truth.
     """
 
     def __init__(
@@ -192,27 +215,82 @@ class AdmissionGateway:
         *,
         config: Optional[GatewayConfig] = None,
         telemetry: Optional[TelemetryRecorder] = None,
+        obs: Optional[Observer] = None,
     ):
         self.scheduler = scheduler
         self.config = config if config is not None else GatewayConfig()
         self.telemetry = (
             telemetry if telemetry is not None else TelemetryRecorder(noise_std=0.0)
         )
-        self.slo = SloTracker()
-        self.batcher = MicroBatcher()
+        self.obs = obs
+        registry = obs.registry if obs is not None else MetricsRegistry()
+        outcomes = registry.counter(
+            GATEWAY_OUTCOMES,
+            "Admission-gateway verdicts by outcome.",
+            ("outcome",),
+        )
+        # Pre-resolved children: hot-path increments are one float add,
+        # and all four outcomes always appear in the export.
+        self._c_queued = outcomes.labels(outcome="queued")
+        self._c_admitted = outcomes.labels(outcome="admitted")
+        self._c_shed = outcomes.labels(outcome="shed")
+        self._c_dead_lettered = outcomes.labels(outcome="dead_lettered")
+        self._c_retries = registry.counter(
+            GATEWAY_RETRIES, "Requeue attempts after a deferred dispatch."
+        )
+        self._c_deferrals = registry.counter(
+            GATEWAY_DEFERRALS,
+            "Dispatch attempts that found no willing node.",
+        )
+        self._c_throttled = registry.counter(
+            GATEWAY_THROTTLED_ROUNDS,
+            "Pump rounds that ran out of tokens with work still queued.",
+        )
+        self._g_depth = registry.gauge(
+            GATEWAY_QUEUE_DEPTH,
+            "Requests currently queued, per category.",
+            ("category",),
+        )
+        self.slo = SloTracker(registry)
+        self.batcher = MicroBatcher(registry)
         self.bucket = TokenBucket(
             self.config.rate_per_second, float(self.config.burst)
         )
         self._queues: Dict[str, Deque[QueuedRequest]] = {}
         self._seq = itertools.count()
-        self.queued = 0
-        self.shed = 0
-        self.admitted = 0
-        self.dead_lettered = 0
-        #: Dispatch attempts that found no willing node this round.
-        self.deferrals = 0
-        #: Pump rounds that ran out of tokens with work still queued.
-        self.throttled_rounds = 0
+
+    # ------------------------------------------------------------------
+    # Counter views (kept for compatibility with pre-registry callers)
+    # ------------------------------------------------------------------
+    @property
+    def queued(self) -> int:
+        """Requests that entered a queue (registry-backed view)."""
+        return int(self._c_queued.value)
+
+    @property
+    def shed(self) -> int:
+        """Requests shed at a full queue (registry-backed view)."""
+        return int(self._c_shed.value)
+
+    @property
+    def admitted(self) -> int:
+        """Requests that started on a node (registry-backed view)."""
+        return int(self._c_admitted.value)
+
+    @property
+    def dead_lettered(self) -> int:
+        """Requests that ran out of patience/retries (registry-backed)."""
+        return int(self._c_dead_lettered.value)
+
+    @property
+    def deferrals(self) -> int:
+        """Dispatch attempts that found no willing node this round."""
+        return int(self._c_deferrals.value)
+
+    @property
+    def throttled_rounds(self) -> int:
+        """Pump rounds that ran out of tokens with work still queued."""
+        return int(self._c_throttled.value)
 
     # ------------------------------------------------------------------
     @property
@@ -248,8 +326,8 @@ class AdmissionGateway:
         category = request.spec.category.value
         q = self._queue_for(category)
         if len(q) >= self.config.queue_capacity:
-            self.shed += 1
-            self.slo.record(category, "shed", 0.0)
+            self._c_shed.inc(time=time)
+            self.slo.record(category, "shed", 0.0, time=time)
             self.telemetry.record_gateway_event(
                 time, "shed", category, f"r{request.request_id}"
             )
@@ -263,7 +341,7 @@ class AdmissionGateway:
                 incarnation=incarnation,
             )
         )
-        self.queued += 1
+        self._c_queued.inc(time=time)
         self.telemetry.record_gateway_event(
             time, "queued", category, f"r{request.request_id}"
         )
@@ -275,12 +353,13 @@ class AdmissionGateway:
     def _dead_letter(self, entry: QueuedRequest, time: float, reason: str) -> None:
         from repro.cluster.fleet import DeadLetter  # import cycle guard
 
-        self.dead_lettered += 1
+        self._c_dead_lettered.inc(time=time)
         self.scheduler.dead_letters.append(
             DeadLetter(entry.request, float(time), entry.attempts, reason)
         )
         self.slo.record(
-            entry.category, "dead-lettered", max(0.0, time - entry.enqueued)
+            entry.category, "dead-lettered",
+            max(0.0, time - entry.enqueued), time=time,
         )
         self.telemetry.record_gateway_event(
             time, "dead-lettered", entry.category,
@@ -312,6 +391,22 @@ class AdmissionGateway:
         categories); each dispatch attempt spends one token.  Returns
         the requests that started.
         """
+        if self.obs is not None:
+            self.obs.tick(time)
+            cm = self.obs.span("gateway.pump", time, stream=STREAM_SERVE)
+        else:
+            cm = nullcontext(None)
+        with cm as span:
+            started = self._pump_round(time, seed_for)
+            if span is not None:
+                span.args["started"] = len(started)
+        for category in sorted(self._queues):
+            self._g_depth.labels(category=category).set(
+                len(self._queues[category]), time=time
+            )
+        return started
+
+    def _pump_round(self, time: float, seed_for) -> List[GameRequest]:
         self._expire(time)
         entries = sorted(
             (e for q in self._queues.values() for e in q),
@@ -323,24 +418,25 @@ class AdmissionGateway:
         resolved: List[QueuedRequest] = []
         for entry in entries:
             if not self.bucket.try_take(time):
-                self.throttled_rounds += 1
+                self._c_throttled.inc(time=time)
                 break
             node = self._dispatch(entry, time, seed_for)
             if node is not None:
                 started.append(entry.request)
                 resolved.append(entry)
-                self.admitted += 1
+                self._c_admitted.inc(time=time)
                 self.slo.record(
                     entry.category, "admitted",
-                    max(0.0, time - entry.enqueued),
+                    max(0.0, time - entry.enqueued), time=time,
                 )
                 self.telemetry.record_gateway_event(
                     time, "admitted", entry.category,
                     f"r{entry.request.request_id}@{node.node_id}",
                 )
                 continue
-            self.deferrals += 1
+            self._c_deferrals.inc(time=time)
             entry.attempts += 1
+            self._c_retries.inc(time=time)
             if entry.attempts > self.config.max_retries:
                 self._dead_letter(entry, time, "retries exhausted")
                 resolved.append(entry)

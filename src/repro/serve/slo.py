@@ -6,12 +6,22 @@ differently at the edge; the first step is *measuring* them separately.
 request spent queued before it, and summarizes per game category with
 deterministic nearest-rank percentiles — no interpolation, so two
 identical runs print identical summaries to full precision.
+
+When built with a :class:`~repro.obs.metrics.MetricsRegistry`, every
+recorded outcome is mirrored into the canonical registry metrics —
+``serve_queue_wait_seconds`` (a fixed-bucket histogram per category)
+and ``serve_slo_outcomes_total`` — so the Prometheus export tells the
+same story as :meth:`SloTracker.summaries`.  The exact-percentile lists
+stay authoritative; the registry view is additive.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.naming import QUEUE_WAIT_SECONDS, SLO_OUTCOMES, WAIT_BUCKETS
 
 __all__ = ["CategorySlo", "SloTracker", "percentile_nearest_rank"]
 
@@ -52,20 +62,58 @@ class CategorySlo:
 
 
 class SloTracker:
-    """Per-category admission-outcome and time-in-queue accounting."""
+    """Per-category admission-outcome and time-in-queue accounting.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+        given, every :meth:`record` also lands in the registry's
+        ``serve_queue_wait_seconds`` histogram and
+        ``serve_slo_outcomes_total`` counter.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._waits: Dict[str, List[float]] = {}
         self._outcomes: Dict[str, Dict[str, int]] = {}
+        self._wait_hist = None
+        self._outcome_counter = None
+        if registry is not None:
+            self._wait_hist = registry.histogram(
+                QUEUE_WAIT_SECONDS,
+                "Time-in-queue before each gateway verdict.",
+                ("category",),
+                buckets=WAIT_BUCKETS,
+            )
+            self._outcome_counter = registry.counter(
+                SLO_OUTCOMES,
+                "Gateway verdicts by category and outcome.",
+                ("category", "outcome"),
+            )
 
     # ------------------------------------------------------------------
-    def record(self, category: str, outcome: str, wait_seconds: float) -> None:
+    def record(
+        self,
+        category: str,
+        outcome: str,
+        wait_seconds: float,
+        *,
+        time: Optional[float] = None,
+    ) -> None:
         """Record one gateway outcome with its time-in-queue."""
         if wait_seconds < 0:
             raise ValueError(f"wait_seconds must be >= 0, got {wait_seconds}")
         self._waits.setdefault(category, []).append(float(wait_seconds))
         per_cat = self._outcomes.setdefault(category, {})
         per_cat[outcome] = per_cat.get(outcome, 0) + 1
+        if self._wait_hist is not None:
+            self._wait_hist.labels(category=category).observe(
+                wait_seconds, time=time
+            )
+            # Prometheus label values: dead-lettered -> dead_lettered.
+            self._outcome_counter.labels(
+                category=category, outcome=outcome.replace("-", "_")
+            ).inc(time=time)
 
     # ------------------------------------------------------------------
     @property

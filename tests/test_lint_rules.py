@@ -1,4 +1,4 @@
-"""Tests for the ``repro.lint`` invariant checker (rules CG001–CG009)."""
+"""Tests for the ``repro.lint`` invariant checker (rules CG001–CG009, CG014)."""
 
 import json
 import subprocess
@@ -483,6 +483,63 @@ class TestCG009:
 
 
 # ----------------------------------------------------------------------
+# CG014 — registry-backed aggregates
+# ----------------------------------------------------------------------
+
+class TestCG014:
+    def test_flags_module_level_counter_dicts(self, tmp_path):
+        result = lint_source(tmp_path, "serve/stats.py", """\
+            from collections import Counter, defaultdict
+
+            _totals = {}
+            REQUEST_COUNTER = Counter()
+            stats_by_node = defaultdict(int)
+            """, select=["CG014"])
+        assert rule_ids(result) == ["CG014", "CG014", "CG014"]
+
+    def test_flags_annotated_and_comprehension_aggregates(self, tmp_path):
+        result = lint_source(tmp_path, "cluster/tally.py", """\
+            SHED_TOTAL: dict = dict()
+            fault_tally = {k: 0 for k in ("crash", "drain")}
+            """, select=["CG014"])
+        assert rule_ids(result) == ["CG014", "CG014"]
+
+    def test_class_and_function_scoped_state_is_clean(self, tmp_path):
+        result = lint_source(tmp_path, "faults/log.py", """\
+            class Injector:
+                _totals = {}
+
+                def __init__(self):
+                    self.counters = {}
+
+            def tally():
+                totals = {}
+                return totals
+            """, select=["CG014"])
+        assert result.ok
+
+    def test_non_counter_names_and_immutables_are_clean(self, tmp_path):
+        result = lint_source(tmp_path, "serve/config.py", """\
+            _DEFAULTS = {"rate": 2.0}
+            TOTAL_STAGES = 3
+            COUNT_LABEL = "count"
+            """, select=["CG014"])
+        assert result.ok
+
+    def test_pragma_marks_a_static_table(self, tmp_path):
+        result = lint_source(tmp_path, "cluster/fleet.py", """\
+            _STAT_NAMES = {"p50", "p99"}  # lint: disable=CG014 -- static table, never mutated
+            """, select=["CG014"])
+        assert result.ok
+
+    def test_other_packages_are_out_of_scope(self, tmp_path):
+        result = lint_source(tmp_path, "workloads/requests.py", """\
+            _totals = {}
+            """, select=["CG014"])
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
 # Pragmas
 # ----------------------------------------------------------------------
 
@@ -630,10 +687,10 @@ class TestEngine:
         with pytest.raises(FileNotFoundError):
             lint_paths(["/nonexistent/definitely/missing"])
 
-    def test_registry_has_all_nine_rules(self):
+    def test_registry_has_all_per_file_rules(self):
         assert sorted(all_rules()) == [
             "CG001", "CG002", "CG003", "CG004", "CG005", "CG006", "CG007",
-            "CG008", "CG009",
+            "CG008", "CG009", "CG014",
         ]
 
 
