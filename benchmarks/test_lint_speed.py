@@ -5,9 +5,11 @@ graph work — but the per-file phase dominates a cold run: read, parse,
 per-file rules, and module summarisation for ~100 files.  The
 content-hash cache makes a warm run skip all of that for unchanged
 files, so the invariant this bench *asserts* (not just reports) is the
-incremental contract: a warm run re-parses nothing, and after touching
-one module only that module is re-analyzed while project findings are
-still recomputed from the full summary set.
+incremental contract: a warm run re-parses nothing — with the effect
+system (CG015–CG018) and the ``effects.json`` export enabled, which
+run entirely from cached summaries — and after touching one module
+only that module is re-analyzed while project findings are still
+recomputed from the full summary set.
 """
 
 import shutil
@@ -29,7 +31,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 def _timed_lint(tree, cache):
     t0 = time.perf_counter()
-    result = lint_paths([tree], cache=cache)
+    result = lint_paths([tree], cache=cache, effects=True)
     return result, time.perf_counter() - t0
 
 
@@ -50,9 +52,13 @@ def test_lint_cold_vs_warm(tmp_path):
     warm, warm_s = _timed_lint(tree, warm_cache)
     warm_cache.save()
     assert warm.ok
-    # The incremental contract: a warm run re-parses nothing.
+    # The incremental contract: a warm run re-parses nothing, and the
+    # effects phase — inference + rendered effects.json — is recomputed
+    # from cached summaries to byte-identical output.
     assert warm.files_reparsed == 0
     assert warm.files_checked == cold.files_checked
+    assert cold.effects is not None and warm.effects is not None
+    assert warm.effects == cold.effects
 
     # Touch one module: only it may be re-analyzed.  (Project findings
     # are recomputed from summaries either way, so cross-module rules

@@ -22,7 +22,8 @@ Four subcommands cover the operator workflow the paper describes:
   byte-identical;
 * ``cocg lint [PATH …]`` — run the CoCG invariant checker
   (:mod:`repro.lint`, per-file rules CG001–CG009 plus the
-  whole-program rules CG010–CG014) over the codebase.
+  whole-program rules CG010–CG014 and the effect system
+  CG015–CG018) over the codebase.
 
 Run ``python -m repro.cli --help`` (or the installed ``cocg`` script).
 """
@@ -544,7 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.lint.__main__ import configure_parser as _configure_lint_parser
 
     lint = sub.add_parser(
-        "lint", help="check CoCG invariants (rules CG001-CG014)"
+        "lint", help="check CoCG invariants (rules CG001-CG018)"
     )
     _configure_lint_parser(lint)
     lint.set_defaults(func=cmd_lint)

@@ -17,6 +17,7 @@ Three cooperating components (paper Fig 3):
 """
 
 from repro.core.frames import frame_matrix, frames_of_series
+from repro.core.health import BreakerState, PredictorHealth
 from repro.core.stages import StageLibrary, StageStats, StageTypeId, Segment
 from repro.core.profiler import FrameGrainedProfiler, ProfilerConfig
 from repro.core.dataset import StageDatasetBuilder, StageSample
@@ -59,4 +60,6 @@ __all__ = [
     "CoCGScheduler",
     "CoCGConfig",
     "SessionControl",
+    "BreakerState",
+    "PredictorHealth",
 ]

@@ -24,11 +24,13 @@ from typing import Tuple
 
 from repro.games.category import GameCategory
 from repro.platform_.resources import ResourceVector
+from repro.util.effects import effects
 from repro.util.validation import check_fraction
 
 __all__ = ["redundancy_allocation", "backend_rotation", "DynamicAdjuster"]
 
 
+@effects(hot_path=True)
 def redundancy_allocation(accuracy: float, peak: ResourceVector) -> ResourceVector:
     """Eq 1: ``S = (1 − P) × M``.
 

@@ -26,6 +26,7 @@ from repro.obs.metrics import CounterChild
 from repro.obs.naming import ALGO1_BATCHES, ALGO1_EVALUATIONS
 from repro.obs.observer import Observer
 from repro.platform_.resources import ResourceVector
+from repro.util.effects import effects
 
 __all__ = [
     "RunningTaskView",
@@ -97,6 +98,7 @@ class BatchEvaluation:
         self.evaluations = 0
 
     # ------------------------------------------------------------------
+    @effects(hot_path=True)
     def _current_sum(self) -> ResourceVector:
         """Lines 3-9: the running tasks' summed current consumption.
 
@@ -113,6 +115,7 @@ class BatchEvaluation:
             self._current = current
         return self._current
 
+    @effects(hot_path=True)
     def _worst_coconsumption(self) -> ResourceVector:
         """Lines 10-25: the max predicted co-consumption ``M``.
 
@@ -135,6 +138,7 @@ class BatchEvaluation:
         return self._worst
 
     # ------------------------------------------------------------------
+    @effects(hot_path=True)
     def evaluate(
         self,
         entry_consumption: ResourceVector,
@@ -146,6 +150,7 @@ class BatchEvaluation:
         self._distributor.count_evaluation(decision.admitted)
         return decision
 
+    @effects(hot_path=True)
     def _decide(
         self,
         entry_consumption: ResourceVector,
@@ -238,6 +243,7 @@ class Distributor:
         self._c_eval_true = evaluations.labels(admitted="true")
         self._c_eval_false = evaluations.labels(admitted="false")
 
+    @effects(hot_path=True)
     def count_evaluation(self, admitted: bool) -> None:
         """Count one candidate verdict (no-op when unobserved)."""
         child = self._c_eval_true if admitted else self._c_eval_false
@@ -245,6 +251,7 @@ class Distributor:
             child.inc()
 
     # ------------------------------------------------------------------
+    @effects(hot_path=True)
     def can_admit(
         self,
         entry_consumption: ResourceVector,
@@ -269,6 +276,7 @@ class Distributor:
         return self.begin_batch(running).evaluate(entry_consumption, steady_peak)
 
     # ------------------------------------------------------------------
+    @effects(hot_path=True)
     def begin_batch(self, running: Sequence[RunningTaskView]) -> BatchEvaluation:
         """Open a shared evaluation pass over a fixed running set.
 
@@ -280,6 +288,7 @@ class Distributor:
             self._c_batches.inc()
         return BatchEvaluation(self, running)
 
+    @effects(hot_path=True)
     def can_admit_batch(
         self,
         candidates: Sequence[Tuple[ResourceVector, ResourceVector]],

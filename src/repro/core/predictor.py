@@ -31,6 +31,7 @@ from repro.mlkit.forest import RandomForestClassifier
 from repro.mlkit.gbdt import GradientBoostedClassifier
 from repro.mlkit.model_selection import train_test_split
 from repro.mlkit.tree import DecisionTreeClassifier
+from repro.util.effects import effects
 from repro.util.rng import Seed, derive_seed
 
 __all__ = [
@@ -51,7 +52,7 @@ class PredictorBackendError(RuntimeError):
     broken (e.g. a fault-injected failure); callers on the control path
     catch it and walk the fallback chain (next trained backend, then the
     stage-history prior) under the
-    :class:`~repro.faults.health.PredictorHealth` circuit breaker.
+    :class:`~repro.core.health.PredictorHealth` circuit breaker.
     """
 
 BACKENDS: Tuple[str, ...] = ("dtc", "rf", "gbdt")
@@ -234,6 +235,7 @@ class StagePredictor:
             return next(iter(self._models.values()))
         return self._models["*"]
 
+    @effects(hot_path=True)
     def predict_next(
         self,
         exec_history: Sequence[StageTypeId],
@@ -272,6 +274,7 @@ class StagePredictor:
         label = int(model.classes_[best])
         return self.builder.types[label], float(proba[best])
 
+    @effects(hot_path=True)
     def rollout(
         self,
         exec_history: Sequence[StageTypeId],
@@ -309,6 +312,7 @@ class StagePredictor:
                 current, _conf = self.prior_prediction()
         return chain
 
+    @effects(hot_path=True)
     def prior_prediction(self) -> Tuple[StageTypeId, float]:
         """Model-free prediction from the stage-history prior.
 

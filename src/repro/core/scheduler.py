@@ -37,7 +37,7 @@ from repro.core.predictor import (
 )
 from repro.core.regulator import Regulator, RegulatorConfig
 from repro.core.stages import StageTypeId
-from repro.faults.health import BreakerState, PredictorHealth
+from repro.core.health import BreakerState, PredictorHealth
 from repro.obs.metrics import Counter, CounterChild
 from repro.obs.naming import (
     SCHED_DECISIONS,
@@ -50,6 +50,7 @@ from repro.platform_.allocator import AllocationError, Allocator
 from repro.platform_.resources import ResourceVector
 from repro.sim.telemetry import TelemetryRecorder
 from repro.streaming.encoder import EncoderModel
+from repro.util.effects import effects
 
 __all__ = [
     "CoCGConfig",
@@ -131,7 +132,7 @@ class CoCGConfig:
         Charge each session this encoder's CPU overhead (``None`` = off).
     failure_threshold:
         Consecutive model-chain failures that trip a session's
-        :class:`~repro.faults.health.PredictorHealth` breaker open.
+        :class:`~repro.core.health.PredictorHealth` breaker open.
     failure_cooldown:
         Seconds an open breaker waits before a half-open re-probe.
     degraded_margin:
@@ -316,6 +317,7 @@ class SessionControl:
         if self.rollout_cache is not None:
             self.rollout_cache.invalidate(self.session.session_id)
 
+    @effects(hot_path=True)
     def predicted_peaks(self, horizon: int) -> List[ResourceVector]:
         """Rolled-forward allocation peaks for the distributor.
 
@@ -340,6 +342,7 @@ class SessionControl:
             self._peaks_cache[horizon] = local
         return local
 
+    @effects(hot_path=True)
     def _compute_peaks(self, horizon: int) -> List[ResourceVector]:
         """One uncached rollout: walk the predicted stage chain and map
         each stage to its (margin-free) execution plan."""

@@ -2,8 +2,9 @@
 
 The package splits into leaves and heavy modules:
 
-* :mod:`repro.faults.plan` / :mod:`repro.faults.health` are leaves —
-  ``core.scheduler`` imports :class:`PredictorHealth` directly;
+* :mod:`repro.faults.plan` is a leaf, and :mod:`repro.faults.health`
+  re-exports the breaker that now lives in :mod:`repro.core.health`
+  (the scheduler owns it; CG017 keeps the layering acyclic);
 * :mod:`repro.faults.injector` / :mod:`repro.faults.chaos` import the
   cluster layer, which imports the scheduler — so they are exposed
   lazily here to keep the import graph acyclic.

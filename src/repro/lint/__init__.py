@@ -8,14 +8,22 @@ on scheduler/distributor decision paths, complete ``__all__`` exports,
 and type-annotated public APIs.  This package parses the tree with
 :mod:`ast` and enforces each convention in two phases:
 
-* **per-file rules** (**CG001** – **CG009**) walk one AST at a time;
+* **per-file rules** (**CG001** – **CG009**, **CG014**) walk one AST
+  at a time;
 * **whole-program rules** (**CG010** – **CG013**) run
   taint/reachability queries over a project-wide call graph built from
   per-module summaries (:mod:`repro.lint.project`,
   :mod:`repro.lint.dataflow`), catching cross-module hazards — an
   unseeded RNG draw laundered through helpers into ``serve/``, a set
   iteration whose order reaches the fleet digest — that no single file
-  reveals.  See ``docs/LINT.md``.
+  reveals.  On the same graph, the **effect system**
+  (:mod:`repro.lint.effects`, **CG015** – **CG018**) infers
+  per-function effect signatures (:data:`EFFECT_NAMES`) by fixpoint
+  propagation and checks shard-safety of the fleet path, drift against
+  ``@effects(...)`` declarations (:mod:`repro.util.effects`), the
+  architecture layering DAG, and hot-path purity; ``--effects-out``
+  exports the signatures as a deterministic ``effects.json``.  See
+  ``docs/LINT.md``.
 
 Use it three ways:
 
@@ -50,6 +58,12 @@ from repro.lint.dataflow import (
     reach_sinks,
     reach_taints,
 )
+from repro.lint.effects import (
+    EFFECT_NAMES,
+    EffectInference,
+    infer_effects,
+    render_effects,
+)
 from repro.lint.engine import LintResult, iter_python_files, lint_file, lint_paths
 from repro.lint.findings import Finding
 from repro.lint.pragmas import Suppressions, parse_suppressions
@@ -64,6 +78,8 @@ from repro.lint.registry import (
     FileContext,
     Rule,
     UnknownRuleError,
+    explain_rule,
+    rule_class,
     all_project_rules,
     all_rules,
     register,
@@ -86,6 +102,12 @@ __all__ = [
     "reach_sinks",
     "reach_taints",
     "summarize_module",
+    "EFFECT_NAMES",
+    "EffectInference",
+    "infer_effects",
+    "render_effects",
+    "explain_rule",
+    "rule_class",
     "UnknownRuleError",
     "register",
     "register_project",

@@ -24,6 +24,7 @@ from repro.lint.registry import (
     UnknownRuleError,
     all_project_rules,
     all_rules,
+    explain_rule,
     resolve_project_rules,
     resolve_rules,
 )
@@ -89,6 +90,16 @@ def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser
         "--list-rules", action="store_true",
         help="list the registered rules and exit",
     )
+    parser.add_argument(
+        "--explain", metavar="RULE",
+        help="print one rule's rationale and fix recipe "
+             "(e.g. --explain CG015) and exit",
+    )
+    parser.add_argument(
+        "--effects-out", metavar="PATH", type=Path,
+        help="write the inferred effect signatures (effects.json) "
+             "to PATH",
+    )
     return parser
 
 
@@ -98,7 +109,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description="CoCG invariant checker "
                     "(per-file CG001-CG009 and CG014, "
-                    "whole-program CG010-CG013)",
+                    "whole-program CG010-CG013, "
+                    "effect system CG015-CG018)",
     ))
 
 
@@ -148,6 +160,13 @@ def run_from_args(args: argparse.Namespace) -> int:
     if args.list_rules:
         _print_rules()
         return 0
+    if args.explain is not None:
+        try:
+            print(explain_rule(args.explain.strip().upper()))
+        except UnknownRuleError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
     if args.update_baseline and args.baseline is None:
         print("error: --update-baseline requires --baseline PATH",
               file=sys.stderr)
@@ -175,6 +194,7 @@ def run_from_args(args: argparse.Namespace) -> int:
             whole_program=not args.no_project,
             cache=cache,
             only_paths=only_paths,
+            effects=args.effects_out is not None,
         )
         if cache is not None:
             cache.save()
@@ -191,6 +211,8 @@ def run_from_args(args: argparse.Namespace) -> int:
             RuntimeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.effects_out is not None and result.effects is not None:
+        args.effects_out.write_text(result.effects, encoding="utf-8")
     if args.sarif is not None:
         args.sarif.write_text(render_sarif(result) + "\n", encoding="utf-8")
     if args.format == "json":

@@ -30,7 +30,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Set
 from repro.lint.project import ProjectContext
 
 __all__ = ["Witness", "CallGraph", "build_call_graph",
-           "reach_sinks", "reach_taints", "witness_chain", "render_chain"]
+           "reach_sinks", "reach_taints", "witness_chain", "render_chain",
+           "reach_from", "entry_chain"]
 
 
 @dataclass(frozen=True)
@@ -67,14 +68,30 @@ class CallGraph:
 
 
 def build_call_graph(project: ProjectContext) -> CallGraph:
-    """Resolve every summarised call site against the function index."""
+    """Resolve every summarised call site against the function index.
+
+    ``self.method(...)`` calls resolve *precisely* when the enclosing
+    class defines ``method`` in the same module: the edge goes to that
+    one definition instead of to every project function sharing the
+    terminal name.  Calls to methods the class does not define locally
+    (inherited, protocol, or duck-typed) keep the conservative
+    every-definition fan-out — a missed edge is a silently broken
+    replay; a spurious one is at worst a pragma.
+    """
     edges: Dict[str, Set[str]] = {}
     for name in sorted(project.modules):
         mod = project.modules[name]
         for qual, fn in mod.functions.items():
             node = f"{name}::{qual}"
+            class_prefix = qual.rsplit(".", 1)[0] if "." in qual else None
             targets: Set[str] = set()
             for call in fn.calls:
+                if call.on_self and class_prefix is not None:
+                    own_method = f"{class_prefix}.{call.name}"
+                    if own_method in mod.functions:
+                        if own_method != qual:
+                            targets.add(f"{name}::{own_method}")
+                        continue
                 for target in project.function_index.get(call.name, ()):
                     if target != node:
                         targets.add(target)
@@ -159,6 +176,47 @@ def reach_taints(
             if desc is not None:
                 direct[node] = desc
     return _propagate(graph, direct)
+
+
+def reach_from(
+    graph: CallGraph,
+    roots: Iterable[str],
+) -> Dict[str, Optional[str]]:
+    """Forward BFS: every function reachable *from* the given roots.
+
+    Returns ``node -> predecessor`` parent pointers (``None`` for a
+    root), shortest chain first — :func:`entry_chain` renders the
+    entry-point-to-function call path CG015 prints.  Deterministic:
+    roots and callees are expanded in sorted order.
+    """
+    parents: Dict[str, Optional[str]] = {}
+    frontier = deque()
+    for root in sorted(set(roots)):
+        parents[root] = None
+        frontier.append(root)
+    while frontier:
+        current = frontier.popleft()
+        for callee in sorted(graph.callees(current)):
+            if callee not in parents:
+                parents[callee] = current
+                frontier.append(callee)
+    return parents
+
+
+def entry_chain(
+    parents: Dict[str, Optional[str]],
+    node: str,
+    *,
+    limit: int = 6,
+) -> List[str]:
+    """The call chain from a :func:`reach_from` root down to ``node``."""
+    chain: List[str] = [node]
+    current = parents.get(node)
+    while current is not None and len(chain) < limit:
+        chain.append(current)
+        current = parents.get(current)
+    chain.reverse()
+    return chain
 
 
 def witness_chain(

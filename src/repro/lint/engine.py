@@ -53,6 +53,7 @@ from repro.lint.registry import (
 # Importing the rule modules populates both registries.
 import repro.lint.rules  # noqa: F401  (side-effect import)
 import repro.lint.project_rules  # noqa: F401  (side-effect import)
+import repro.lint.effects as _effects  # registers CG015-CG018
 
 __all__ = ["LintResult", "lint_file", "lint_paths", "iter_python_files"]
 
@@ -73,6 +74,9 @@ class LintResult:
     #: on a cold run, and only the changed files on a warm cached run
     #: (the whole-program phase reuses cached summaries for the rest).
     files_reparsed: int = 0
+    #: The ``effects.json`` artifact text (sorted, deterministic) when
+    #: the run was asked for it (``lint_paths(..., effects=True)``).
+    effects: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -197,6 +201,7 @@ def lint_paths(
     whole_program: bool = True,
     cache: Optional[LintCache] = None,
     only_paths: Optional[Iterable[object]] = None,
+    effects: bool = False,
 ) -> LintResult:
     """Lint files and directory trees, both phases.
 
@@ -221,6 +226,12 @@ def lint_paths(
         the analysis itself still covers every path in ``paths`` so the
         whole-program phase sees full cross-module context (this backs
         ``cocg lint --changed``).
+    effects:
+        Additionally render the inferred effect signatures
+        (:func:`repro.lint.effects.render_effects`) into
+        :attr:`LintResult.effects` (backs ``--effects-out``).  Implies
+        nothing about rule selection — the inference runs even when
+        CG015–CG018 are deselected.
     """
     select = list(select) if select is not None else None
     ignore = list(ignore) if ignore is not None else None
@@ -262,12 +273,14 @@ def lint_paths(
             summaries[summary.module] = summary
         result.findings.extend(findings)
 
-    if project_rules and summaries:
+    if (project_rules or effects) and summaries:
         project = ProjectContext(summaries)
         for rule_cls in project_rules:
             rule = rule_cls(project)
             rule.check()
             result.findings.extend(rule.findings)
+        if effects:
+            result.effects = _effects.render_effects(project)
 
     if cache is not None:
         cache.prune(live_keys)

@@ -86,6 +86,30 @@ _NP_RANDOM_ALLOWED = frozenset({
 })
 _STDLIB_RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
 
+#: Method terminals that schedule simulation-engine events when called
+#: on an object (``engine.at/after/every``) — the ``engine_emit`` seed.
+_ENGINE_EMIT_METHODS = frozenset({"at", "after", "every"})
+
+#: Method terminals that record into the replay digest / telemetry
+#: plane — the ``digest_write`` seed.
+_DIGEST_WRITE_METHODS = frozenset({
+    "record", "record_second", "record_fault_event", "record_gateway_event",
+})
+
+#: Call terminals that perform file or console I/O — the ``io`` seed.
+_IO_TERMINALS = frozenset({
+    "open", "print", "input",
+    "write_text", "read_text", "write_bytes", "read_bytes",
+})
+
+#: Container-mutating method terminals: calling one on a module- or
+#: class-level name is a ``global_write``.
+_MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "extend", "add", "insert", "update",
+    "setdefault", "pop", "popleft", "popitem", "remove", "discard",
+    "clear", "sort", "reverse",
+})
+
 
 def module_name_from_parts(rel_parts: Tuple[str, ...]) -> str:
     """Dotted module name relative to the ``repro`` package root.
@@ -103,19 +127,26 @@ def module_name_from_parts(rel_parts: Tuple[str, ...]) -> str:
 
 @dataclass(frozen=True)
 class CallSite:
-    """One call expression: the terminal name and where it happens."""
+    """One call expression: the terminal name and where it happens.
+
+    ``on_self`` marks ``self.name(...)`` calls — the call graph resolves
+    those against the enclosing class first instead of every project
+    function sharing the terminal name.
+    """
 
     name: str
     line: int
+    on_self: bool = False
 
     def to_dict(self) -> dict:
         """JSON-serialisable view."""
-        return {"name": self.name, "line": self.line}
+        return {"name": self.name, "line": self.line, "on_self": self.on_self}
 
     @classmethod
     def from_dict(cls, d: dict) -> "CallSite":
         """Inverse of :meth:`to_dict`."""
-        return cls(name=d["name"], line=int(d["line"]))
+        return cls(name=d["name"], line=int(d["line"]),
+                   on_self=bool(d.get("on_self", False)))
 
 
 @dataclass(frozen=True)
@@ -176,14 +207,33 @@ class EventClass:
 
 @dataclass
 class FunctionSummary:
-    """What one function does, as far as the project rules care."""
+    """What one function does, as far as the project rules care.
+
+    The effect facts (``global_writes``, ``engine_emits``,
+    ``digest_writes``, ``io_sites``, together with ``rng_draws`` and
+    ``clock_reads``) seed the per-effect fixpoint in
+    :mod:`repro.lint.effects`; ``declared_effects``/``hot_path`` mirror
+    a static ``@effects(...)`` decoration
+    (:mod:`repro.util.effects`).
+    """
 
     qualname: str
     line: int
     calls: List[CallSite] = field(default_factory=list)
     rng_draws: List[TaintSite] = field(default_factory=list)
+    #: draws from a *seeded, named* stream (``rng.normal(...)``,
+    #: ``self._rng.choice(...)``) — fine for CG011, but still the
+    #: ``rng`` effect for the effect system.
+    stream_draws: List[TaintSite] = field(default_factory=list)
     clock_reads: List[TaintSite] = field(default_factory=list)
     unordered_loops: List[UnorderedLoop] = field(default_factory=list)
+    global_writes: List[TaintSite] = field(default_factory=list)
+    engine_emits: List[TaintSite] = field(default_factory=list)
+    digest_writes: List[TaintSite] = field(default_factory=list)
+    io_sites: List[TaintSite] = field(default_factory=list)
+    #: ``None`` = undeclared; otherwise the sorted declared effect names.
+    declared_effects: Optional[List[str]] = None
+    hot_path: bool = False
 
     def to_dict(self) -> dict:
         """JSON-serialisable view."""
@@ -192,8 +242,15 @@ class FunctionSummary:
             "line": self.line,
             "calls": [c.to_dict() for c in self.calls],
             "rng_draws": [t.to_dict() for t in self.rng_draws],
+            "stream_draws": [t.to_dict() for t in self.stream_draws],
             "clock_reads": [t.to_dict() for t in self.clock_reads],
             "unordered_loops": [u.to_dict() for u in self.unordered_loops],
+            "global_writes": [t.to_dict() for t in self.global_writes],
+            "engine_emits": [t.to_dict() for t in self.engine_emits],
+            "digest_writes": [t.to_dict() for t in self.digest_writes],
+            "io_sites": [t.to_dict() for t in self.io_sites],
+            "declared_effects": self.declared_effects,
+            "hot_path": self.hot_path,
         }
 
     @classmethod
@@ -204,9 +261,22 @@ class FunctionSummary:
             line=int(d["line"]),
             calls=[CallSite.from_dict(c) for c in d["calls"]],
             rng_draws=[TaintSite.from_dict(t) for t in d["rng_draws"]],
+            stream_draws=[TaintSite.from_dict(t)
+                          for t in d.get("stream_draws", [])],
             clock_reads=[TaintSite.from_dict(t) for t in d["clock_reads"]],
             unordered_loops=[UnorderedLoop.from_dict(u)
                              for u in d["unordered_loops"]],
+            global_writes=[TaintSite.from_dict(t)
+                           for t in d.get("global_writes", [])],
+            engine_emits=[TaintSite.from_dict(t)
+                          for t in d.get("engine_emits", [])],
+            digest_writes=[TaintSite.from_dict(t)
+                           for t in d.get("digest_writes", [])],
+            io_sites=[TaintSite.from_dict(t) for t in d.get("io_sites", [])],
+            declared_effects=(list(d["declared_effects"])
+                              if d.get("declared_effects") is not None
+                              else None),
+            hot_path=bool(d.get("hot_path", False)),
         )
 
 
@@ -219,6 +289,11 @@ class ModuleSummary:
     rel_parts: Tuple[str, ...]
     functions: Dict[str, FunctionSummary] = field(default_factory=dict)
     imported_modules: Set[str] = field(default_factory=set)
+    #: imported module -> first line it is imported on (for findings).
+    import_lines: Dict[str, int] = field(default_factory=dict)
+    #: imports that only exist under ``if TYPE_CHECKING:`` — erased at
+    #: runtime, so exempt from the layering rule (CG017).
+    type_only_imports: Set[str] = field(default_factory=set)
     event_classes: List[EventClass] = field(default_factory=list)
     event_constructions: Set[str] = field(default_factory=set)
     defines_digest: bool = False
@@ -237,6 +312,9 @@ class ModuleSummary:
             "rel_parts": list(self.rel_parts),
             "functions": {q: f.to_dict() for q, f in self.functions.items()},
             "imported_modules": sorted(self.imported_modules),
+            "import_lines": {m: self.import_lines[m]
+                             for m in sorted(self.import_lines)},
+            "type_only_imports": sorted(self.type_only_imports),
             "event_classes": [e.to_dict() for e in self.event_classes],
             "event_constructions": sorted(self.event_constructions),
             "defines_digest": self.defines_digest,
@@ -262,6 +340,9 @@ class ModuleSummary:
             functions={q: FunctionSummary.from_dict(f)
                        for q, f in d["functions"].items()},
             imported_modules=set(d["imported_modules"]),
+            import_lines={m: int(line)
+                          for m, line in d.get("import_lines", {}).items()},
+            type_only_imports=set(d.get("type_only_imports", [])),
             event_classes=[EventClass.from_dict(e)
                            for e in d["event_classes"]],
             event_constructions=set(d["event_constructions"]),
@@ -299,7 +380,17 @@ class _ImportTable:
         #: bare names bound to numpy's default_rng / repro's as_rng.
         self.rng_ctors: Set[str] = set()
         self.modules: Set[str] = set()
+        #: module -> first line it is imported on.
+        self.module_lines: Dict[str, int] = {}
         for node in ast.walk(tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                for target in (
+                    [alias.name for alias in node.names]
+                    if isinstance(node, ast.Import)
+                    else ([node.module] if node.module else [])
+                ):
+                    if target not in self.module_lines:
+                        self.module_lines[target] = node.lineno
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     self.modules.add(alias.name)
@@ -344,10 +435,65 @@ class _ImportTable:
                             self.rng_ctors.add(bound)
 
 
+def _type_only_imports(tree: ast.Module) -> Set[str]:
+    """Modules imported *only* under a top-level ``if TYPE_CHECKING:``."""
+
+    def collect(stmts: List[ast.stmt]) -> Set[str]:
+        found: Set[str] = set()
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Import):
+                    found.update(alias.name for alias in node.names)
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    found.add(node.module)
+        return found
+
+    guarded: Set[str] = set()
+    runtime: Set[str] = set()
+    for stmt in tree.body:
+        test = getattr(stmt, "test", None)
+        is_guard = isinstance(stmt, ast.If) and (
+            (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING")
+            or (isinstance(test, ast.Attribute)
+                and test.attr == "TYPE_CHECKING")
+        )
+        if is_guard:
+            guarded |= collect(stmt.body)
+        else:
+            runtime |= collect([stmt])
+    return guarded - runtime
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    """Names bound by assignments in the module body (shared state)."""
+    names: Set[str] = set()
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Tuple):
+                names.update(e.id for e in target.elts
+                             if isinstance(e, ast.Name))
+    return names
+
+
+def _root_name(node: ast.expr) -> Optional[str]:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
 class _Summarizer(ast.NodeVisitor):
     """One pass over a module AST producing its :class:`ModuleSummary`."""
 
-    def __init__(self, summary: ModuleSummary, imports: _ImportTable):
+    def __init__(self, summary: ModuleSummary, imports: _ImportTable,
+                 tree: ast.Module):
         self.summary = summary
         self.imports = imports
         self._class_stack: List[str] = []
@@ -361,6 +507,14 @@ class _Summarizer(ast.NodeVisitor):
         #: per-function map of local names to "set"/"dict" inferred from
         #: simple assignments.
         self._local_kinds: List[Dict[str, str]] = [{}]
+        #: names bound at module level — a store through one of these
+        #: from inside a function is shared-state mutation.
+        self._module_names: Set[str] = _module_level_names(tree)
+        #: classes defined anywhere in the module (``Cls.attr = v``).
+        self._class_names: Set[str] = {
+            node.name for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef)
+        }
 
     # -- scope bookkeeping ---------------------------------------------
     @property
@@ -384,12 +538,51 @@ class _Summarizer(ast.NodeVisitor):
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._handle_function(node)
 
+    @staticmethod
+    def _effects_decoration(
+        node: ast.AST,
+    ) -> Tuple[bool, Optional[List[str]], bool]:
+        """Parse a decorator: ``(is_effects, declared_names, hot_path)``.
+
+        Matches ``@effects(...)`` by terminal name — the decorator is
+        designed to be introspected statically, so the analyzer never
+        imports the decorated module.
+        """
+        if not (isinstance(node, ast.Call)
+                and (_dotted(node.func) or "").split(".")[-1] == "effects"):
+            return False, None, False
+        declared = sorted({
+            arg.value for arg in node.args
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+        })
+        hot = any(
+            kw.arg == "hot_path"
+            and isinstance(kw.value, ast.Constant) and bool(kw.value.value)
+            for kw in node.keywords
+        )
+        return True, declared, hot
+
     def _handle_function(self, node: ast.AST) -> None:
         name = node.name  # type: ignore[attr-defined]
         if name == "digest":
             self.summary.defines_digest = True
+        declared: Optional[List[str]] = None
+        hot = False
+        for dec in node.decorator_list:  # type: ignore[attr-defined]
+            is_effects, names, dec_hot = self._effects_decoration(dec)
+            if is_effects:
+                declared, hot = names, hot or dec_hot
+            else:
+                # Decorators execute at import time: attribute their
+                # calls (e.g. ``@register``) to the enclosing scope, not
+                # to the function they decorate.
+                self.visit(dec)
         self._enter_function(node, name)
-        self.generic_visit(node)
+        self._fn.declared_effects = declared
+        self._fn.hot_path = hot
+        self.visit(node.args)  # type: ignore[attr-defined]
+        for stmt in node.body:  # type: ignore[attr-defined]
+            self.visit(stmt)
         self._leave_function()
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
@@ -485,7 +678,60 @@ class _Summarizer(ast.NodeVisitor):
                 self._local_kinds[-1][name] = "dict"
             else:
                 self._local_kinds[-1].pop(name, None)
+        for target in node.targets:
+            self._check_shared_store(target)
         self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_shared_store(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_shared_store(node.target)
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if self._fn_stack:
+            for name in node.names:
+                self._fn.global_writes.append(TaintSite(
+                    line=node.lineno, col=node.col_offset + 1,
+                    desc=f"'global {name}' rebinding of module-level state",
+                ))
+        self.generic_visit(node)
+
+    def _record_global_write(self, node: ast.AST, desc: str) -> None:
+        self._fn.global_writes.append(TaintSite(
+            line=node.lineno, col=node.col_offset + 1, desc=desc,
+        ))
+
+    def _shared_root(self, node: ast.expr) -> Optional[str]:
+        """Describe the shared binding an expression's root reaches.
+
+        Returns e.g. ``"module-level '_CACHE'"`` when the chain starts
+        at a module-body name, ``"class-level 'Config'"`` when it starts
+        at a class defined in this module or at ``cls``; ``None`` for
+        locals and ``self``.
+        """
+        root = _root_name(node)
+        if root is None or root == "self":
+            return None
+        if root == "cls" or root in self._class_names:
+            return f"class-level {root!r}"
+        if root in self._module_names:
+            return f"module-level {root!r}"
+        return None
+
+    def _check_shared_store(self, target: ast.expr) -> None:
+        # A bare-name target is local rebinding (``global`` covers the
+        # shared case); only stores *through* a chain mutate shared
+        # state.  Module-body initialisation is definition, not mutation.
+        if not self._fn_stack:
+            return
+        if not isinstance(target, (ast.Attribute, ast.Subscript)):
+            return
+        shared = self._shared_root(target)
+        if shared is not None:
+            self._record_global_write(target, f"store into {shared}")
 
     # -- calls, RNG draws, clock reads ---------------------------------
     def _record_draw(self, node: ast.AST, desc: str) -> None:
@@ -541,6 +787,41 @@ class _Summarizer(ast.NodeVisitor):
         elif len(parts) == 1 and fn in imp.clock_fns:
             self._record_clock(node, f"{fn}() (wall clock)")
 
+    def _check_effect_seeds(self, node: ast.Call, dotted: str,
+                            terminal: str) -> None:
+        """Record the engine-emit / digest-write / io / mutation facts."""
+        site = TaintSite(line=node.lineno, col=node.col_offset + 1,
+                         desc=f"{dotted}()")
+        is_method = isinstance(node.func, ast.Attribute)
+        if is_method and terminal in _ENGINE_EMIT_METHODS:
+            self._fn.engine_emits.append(TaintSite(
+                site.line, site.col, f"{dotted}() schedules an engine event",
+            ))
+        if is_method and terminal in _DIGEST_WRITE_METHODS:
+            self._fn.digest_writes.append(TaintSite(
+                site.line, site.col,
+                f"{dotted}() records into the telemetry/digest plane",
+            ))
+        if terminal in _IO_TERMINALS:
+            self._fn.io_sites.append(TaintSite(
+                site.line, site.col, f"{dotted}() performs I/O",
+            ))
+        if (is_method and terminal in _MUTATOR_METHODS
+                and self._fn_stack):
+            shared = self._shared_root(node.func.value)
+            if shared is not None:
+                self._record_global_write(
+                    node, f"{dotted}() mutates {shared}",
+                )
+        if is_method:
+            receiver = _dotted(node.func.value)
+            last = receiver.split(".")[-1] if receiver else ""
+            if last in ("rng", "_rng") or last.endswith("_rng"):
+                self._fn.stream_draws.append(TaintSite(
+                    site.line, site.col,
+                    f"{dotted}() draws from a seeded stream",
+                ))
+
     def visit_Call(self, node: ast.Call) -> None:
         dotted = _dotted(node.func)
         if dotted is not None:
@@ -555,11 +836,19 @@ class _Summarizer(ast.NodeVisitor):
                         for gen in arg.generators:
                             self._sanitized.add(id(gen.iter))
             if terminal not in _CALL_STOPLIST:
-                self._fn.calls.append(CallSite(name=terminal, line=node.lineno))
+                on_self = (
+                    isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                )
+                self._fn.calls.append(CallSite(
+                    name=terminal, line=node.lineno, on_self=on_self,
+                ))
             if terminal.endswith("Event"):
                 self.summary.event_constructions.add(terminal)
             self._check_rng(node, dotted)
             self._check_clock(node, dotted)
+            self._check_effect_seeds(node, dotted, terminal)
         self.generic_visit(node)
 
 
@@ -579,7 +868,9 @@ def summarize_module(
     )
     imports = _ImportTable(tree)
     summary.imported_modules = set(imports.modules)
-    _Summarizer(summary, imports).visit(tree)
+    summary.import_lines = dict(imports.module_lines)
+    summary.type_only_imports = _type_only_imports(tree)
+    _Summarizer(summary, imports, tree).visit(tree)
     return summary
 
 

@@ -75,6 +75,10 @@ class UnorderedIterationToSink(ProjectRule):
     call.  There, iteration order *is* behaviour: it decides placement
     and the bytes of the fleet digest, so it must be canonical
     (``sorted``) or proven order-insensitive with a pragma.
+
+    Fix: iterate ``sorted(...)`` (or an explicitly ordered list); if
+    the consumer is provably order-insensitive, suppress with
+    ``# lint: disable=CG010 -- <why>``.
     """
 
     rule_id = "CG010"
@@ -173,6 +177,10 @@ class RngStreamDiscipline(_TaintRule):
     laundered ones — an unseeded ``random.random()`` or ``default_rng()``
     two helper calls upstream of the serving path — and reports at the
     critical package's entry into the tainted chain.
+
+    Fix: thread a seeded ``Generator`` down the call chain shown in
+    the witness; the chain tells you exactly which helper needs the
+    ``rng`` parameter.
     """
 
     rule_id = "CG011"
@@ -204,6 +212,9 @@ class WallClockTaint(_TaintRule):
     ``datetime.now()``.  Simulated timelines take time from the engine
     clock only; a laundered wall-clock read couples replay output to
     host load.
+
+    Fix: pass sim-time (``engine.now``) into the helper chain the
+    witness prints instead of letting it read the wall clock.
     """
 
     rule_id = "CG012"
@@ -237,6 +248,9 @@ class DigestCompleteness(ProjectRule):
     plane, like :class:`~repro.sim.telemetry.FaultEvent` and
     :class:`~repro.sim.telemetry.GatewayEvent` — or carry an explicit
     ``# lint: disable=CG013`` pragma stating why it is out of scope.
+
+    Fix: either record the event class into the digest where it is
+    constructed, or delete the dead event class.
     """
 
     rule_id = "CG013"

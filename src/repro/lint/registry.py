@@ -12,6 +12,7 @@ typically ~30 lines: a class-level id/description, an optional
 from __future__ import annotations
 
 import ast
+import inspect
 from typing import ClassVar, Iterable, Optional, Type
 
 from repro.lint.findings import Finding
@@ -26,13 +27,17 @@ __all__ = [
     "all_project_rules",
     "resolve_rules",
     "resolve_project_rules",
+    "rule_class",
+    "explain_rule",
     "UnknownRuleError",
     "ANALYZER_VERSION",
 ]
 
 #: Bumped whenever a rule's behaviour changes; part of the incremental
 #: cache signature so stale findings never survive a rule upgrade.
-ANALYZER_VERSION = 3
+#: v4: module summaries grew the effect-system facts (global/engine/
+#: digest/io seeds, stream draws, @effects declarations, import lines).
+ANALYZER_VERSION = 4
 
 
 class FileContext:
@@ -199,3 +204,42 @@ def resolve_project_rules(
 ) -> list:
     """Same select/ignore semantics for the whole-program rules."""
     return _resolve(_PROJECT_REGISTRY, select, ignore)
+
+
+#: CG000 is synthesised by the engine, not registered; give it a
+#: describable identity anyway so ``--explain CG000`` works.
+_SYNTAX_RULE_EXPLANATION = """\
+The file does not parse (SyntaxError / bad encoding).  Every other rule
+needs an AST, so a non-parsing file produces exactly this one finding at
+the failure location and is excluded from the whole-program phase.
+
+Fix: make the file valid Python (the finding message carries the
+parser's reason); there is no pragma — a file that cannot parse cannot
+carry one."""
+
+
+def rule_class(rule_id: str) -> type:
+    """The rule class (per-file or whole-program) behind an id."""
+    cls = _REGISTRY.get(rule_id) or _PROJECT_REGISTRY.get(rule_id)
+    if cls is None:
+        raise UnknownRuleError(f"unknown rule id: {rule_id}")
+    return cls
+
+
+def explain_rule(rule_id: str) -> str:
+    """Human-readable rationale + fix recipe for one rule.
+
+    Backs ``cocg lint --explain CGnnn``: header line (id · name), the
+    one-line description, then the rule class's docstring — which by
+    convention states *why* the rule exists and ends with a ``Fix:``
+    recipe.
+    """
+    if rule_id == "CG000":
+        return (f"CG000 · syntax-error\n  file does not parse\n\n"
+                f"{_SYNTAX_RULE_EXPLANATION}")
+    cls = rule_class(rule_id)
+    doc = inspect.cleandoc(cls.__doc__ or "(no rationale recorded)")
+    scope = ("whole-program" if rule_id in _PROJECT_REGISTRY
+             else "per-file")
+    return (f"{rule_id} · {cls.name} ({scope})\n"
+            f"  {cls.description}\n\n{doc}")

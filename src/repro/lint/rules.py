@@ -82,6 +82,10 @@ class NoGlobalRandomness(Rule):
     Seeded constructors (``default_rng``, ``Generator``, bit
     generators) are allowed; method calls on a threaded ``Generator``
     instance are of course fine.
+
+    Fix: accept a ``Seed``/``Generator`` parameter and normalise it
+    with :func:`repro.util.rng.as_rng`; derive child streams with
+    :func:`~repro.util.rng.spawn_rngs` instead of drawing globally.
     """
 
     rule_id = "CG001"
@@ -172,6 +176,9 @@ class NoMutableDefaults(Rule):
     every call, so state leaks between supposedly independent sessions,
     experiments, and simulator runs.  Use ``None`` and materialise inside
     the function body.
+
+    Fix: default to ``None`` and materialise the container inside the
+    function body (``xs = [] if xs is None else xs``).
     """
 
     rule_id = "CG002"
@@ -216,6 +223,9 @@ class PublicFunctionsTyped(Rule):
     public class must annotate all parameters (``self``/``cls`` exempt)
     and the return type.  These are the packages downstream code builds
     on; annotations there are what makes the ``py.typed`` marker honest.
+
+    Fix: annotate every public parameter and the return type; prefix
+    genuinely internal helpers with ``_`` instead.
     """
 
     rule_id = "CG003"
@@ -269,6 +279,9 @@ class DunderAllConsistency(Rule):
     exists at module level; and every public function/class is exported.
     Recognises literal ``__all__ = [...]`` plus ``+=`` / ``.append`` /
     ``.extend`` augmentation with string literals.
+
+    Fix: add the missing public names to ``__all__`` (or prefix them
+    with ``_``); keep ``__all__`` a literal list of strings.
     """
 
     rule_id = "CG004"
@@ -403,6 +416,10 @@ class NoWallClockInSim(Rule):
     engine clock (:class:`repro.sim.engine.SimulationEngine`), never
     from ``time.time()`` and friends: a wall-clock read makes simulated
     timelines irreproducible and couples results to host load.
+
+    Fix: take the current time as a parameter or read the simulation
+    engine's clock (``engine.now``); wall-clock reads belong outside
+    the deterministic core.
     """
 
     rule_id = "CG005"
@@ -471,6 +488,10 @@ class ExceptionHygiene(Rule):
     decision rather than a crash — a handler for ``Exception`` /
     ``BaseException`` whose body is only ``pass``/``...``/``continue``
     is also flagged: handle, log, or re-raise.
+
+    Fix: catch the narrowest exception type that the decision path can
+    actually raise, and either handle it or re-raise with context —
+    never ``except Exception: pass``.
     """
 
     rule_id = "CG006"
@@ -547,6 +568,10 @@ class CanonicalDimensions(Rule):
     exist precisely so there is one definition site.  Keyword/mapping
     construction (``ResourceVector(cpu=35)``) is the sanctioned API and
     is not flagged.
+
+    Fix: build vectors through
+    :class:`repro.platform_.resources.ResourceVector` and index by the
+    canonical :data:`~repro.platform_.resources.DIMENSIONS` names.
     """
 
     rule_id = "CG007"
@@ -629,6 +654,10 @@ class FaultPathAccountability(Rule):
     fault disappears from the QoS accounting, so the degradation claims
     become untestable.  CG006 bans the empty swallow; this rule demands
     positive evidence of accounting.
+
+    Fix: record the injected fault through the telemetry recorder
+    (``record_fault_event``) in the same code path that mutates state,
+    so the digest explains every divergence.
     """
 
     rule_id = "CG008"
@@ -701,6 +730,9 @@ class BoundedQueues(Rule):
     the producer) carry a pragma naming the bound::
 
         self._queue = []  # lint: disable=CG009 - bounded by queue_limit in submit()
+
+    Fix: give the queue an explicit ``maxlen``/capacity and a defined
+    overflow policy (reject, drop-oldest, or backpressure).
     """
 
     rule_id = "CG009"
@@ -815,6 +847,10 @@ class RegistryBackedAggregates(Rule):
     dies with its owner); genuinely non-metric tables carry a pragma::
 
         _STAT_NAMES = {...}  # lint: disable=CG014 -- static lookup table, never mutated
+
+    Fix: register the aggregate on the shared
+    :class:`repro.obs.registry.MetricsRegistry` (``obs.counter`` /
+    ``obs.gauge``) instead of keeping a module-level tally.
     """
 
     rule_id = "CG014"

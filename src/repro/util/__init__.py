@@ -6,6 +6,7 @@ normalises the two.  All experiments in the benchmark suite are therefore
 reproducible bit-for-bit.
 """
 
+from repro.util.effects import declared_effects, effects, is_hot_path
 from repro.util.rng import as_rng, spawn_rngs
 from repro.util.validation import (
     check_fraction,
@@ -19,6 +20,9 @@ from repro.util.timeseries import ResourceSeries
 __all__ = [
     "as_rng",
     "spawn_rngs",
+    "effects",
+    "declared_effects",
+    "is_hot_path",
     "check_fraction",
     "check_in",
     "check_nonnegative",

@@ -1,0 +1,105 @@
+"""Declared effect signatures — the contract half of the effect system.
+
+The lint analyzer (:mod:`repro.lint.effects`) *infers* what a function
+does — RNG draws, clock reads, module/class-level state writes, engine
+event emission, digest writes, file/console I/O — by a fixpoint over the
+project call graph.  :func:`effects` is the matching *declaration*: a
+zero-runtime-cost decorator that states the effects a function is
+allowed to have, so rule **CG016** can fail the build when the two
+drift apart, and rule **CG018** can hold the Algorithm-1/rollout hot
+path to purity (no effects beyond declared RNG), which is what makes a
+future vectorised or compiled kernel swap provably behaviour-preserving.
+
+"Zero runtime cost" is literal: the decorator stores two attributes on
+the function object at import time and returns the function unchanged —
+no wrapper, no extra frame, nothing on the call path.  The analyzer
+never imports the decorated module at all; it reads the decoration
+statically from the AST.
+
+Usage::
+
+    from repro.util.effects import effects
+
+    @effects()                       # declared pure
+    def score(xs): ...
+
+    @effects("rng")                  # may draw from a (seeded) stream
+    def sample(rng): ...
+
+    @effects("rng", hot_path=True)   # pure-but-RNG *and* on the hot path
+    def rollout(...): ...            # (CG018 enforces the purity)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Optional, TypeVar
+
+__all__ = ["EFFECTS", "EffectError", "effects", "declared_effects",
+           "is_hot_path"]
+
+#: The effect alphabet, in canonical (report) order.  A signature is a
+#: subset of this; the lattice is subset inclusion with union as join.
+EFFECTS = (
+    "rng",           # draws from a random stream
+    "clock",         # reads the wall clock
+    "global_write",  # writes module- or class-level mutable state
+    "engine_emit",   # schedules simulation-engine events
+    "digest_write",  # records into the replay digest / telemetry plane
+    "io",            # file or console I/O
+)
+
+_EFFECT_SET = frozenset(EFFECTS)
+
+#: Attribute names the decorator stores (and the analyzer mirrors).
+ATTR_EFFECTS = "__cocg_effects__"
+ATTR_HOT_PATH = "__cocg_hot_path__"
+
+_F = TypeVar("_F", bound=Callable)
+
+
+class EffectError(ValueError):
+    """An ``@effects(...)`` declaration names an unknown effect."""
+
+
+def effects(*names: str, hot_path: bool = False) -> Callable[[_F], _F]:
+    """Declare a function's effect signature.
+
+    Parameters
+    ----------
+    names:
+        Effects the function (including everything it calls) is allowed
+        to have, drawn from :data:`EFFECTS`.  No names declares the
+        function pure.
+    hot_path:
+        Mark the function as part of the Algorithm-1/rollout hot path.
+        CG018 then requires its *inferred* signature to be empty except
+        for declared ``rng``.
+
+    The decorator validates eagerly at import time — a typo'd effect
+    name fails the first test run, not a later lint pass — then returns
+    the function unchanged.
+    """
+    unknown = sorted(set(names) - _EFFECT_SET)
+    if unknown:
+        raise EffectError(
+            f"unknown effect(s) {', '.join(unknown)}; "
+            f"expected a subset of {{{', '.join(EFFECTS)}}}"
+        )
+    declared = frozenset(names)
+
+    def decorate(fn: _F) -> _F:
+        setattr(fn, ATTR_EFFECTS, declared)
+        setattr(fn, ATTR_HOT_PATH, bool(hot_path))
+        return fn
+
+    return decorate
+
+
+def declared_effects(fn: Callable) -> Optional[FrozenSet[str]]:
+    """The declared signature, or ``None`` when ``fn`` is undeclared."""
+    return getattr(fn, ATTR_EFFECTS, None)
+
+
+def is_hot_path(fn: Callable) -> bool:
+    """Whether ``fn`` was declared ``hot_path=True``."""
+    return bool(getattr(fn, ATTR_HOT_PATH, False))

@@ -1,0 +1,11 @@
+"""Fixture: one CG010 finding (unordered iteration into dispatch)."""
+
+from util.helpers import fanout
+
+__all__ = ["drain"]
+
+
+def drain(queues: dict) -> None:
+    """Drain every queue (deliberately order-fragile)."""
+    for name, q in queues.items():
+        fanout(q)

@@ -1,0 +1,13 @@
+"""Fixture helper reaching an ordering-sensitive sink."""
+
+__all__ = ["fanout", "dispatch_order"]
+
+
+def fanout(q: list) -> list:
+    """Forward one queue to the dispatcher."""
+    return dispatch_order(q)
+
+
+def dispatch_order(q: list) -> list:
+    """The ordering-sensitive sink."""
+    return list(q)

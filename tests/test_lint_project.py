@@ -336,9 +336,10 @@ class TestCG013:
 # ----------------------------------------------------------------------
 
 class TestProjectRegistry:
-    def test_registry_has_all_four_project_rules(self):
+    def test_registry_has_all_project_rules(self):
         assert sorted(all_project_rules()) == [
             "CG010", "CG011", "CG012", "CG013",
+            "CG015", "CG016", "CG017", "CG018",
         ]
 
     def test_select_spans_both_registries(self):

@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 reporter coverage: golden-file byte stability across a
+double run, and a schema-shape check.
+
+The golden log lives at ``tests/data/lint_golden.sarif`` and is rendered
+from the committed fixture tree ``tests/data/sarif_fixture/`` with
+*relative* paths (the test chdirs into the fixture), so the bytes are
+machine-independent.  Regenerate after intentionally changing a rule's
+name/description or the reporter itself::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_lint_sarif.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.lint import lint_paths, render_sarif
+from repro.lint.reporters import _SYNTAX_RULE_META
+
+DATA = Path(__file__).parent / "data"
+FIXTURE = DATA / "sarif_fixture"
+GOLDEN = DATA / "lint_golden.sarif"
+
+
+def _render_fixture(monkeypatch) -> str:
+    monkeypatch.chdir(FIXTURE)
+    result = lint_paths(["serve", "util"])
+    return render_sarif(result)
+
+
+class TestGoldenFile:
+    def test_double_run_is_byte_identical(self, monkeypatch):
+        first = _render_fixture(monkeypatch)
+        second = _render_fixture(monkeypatch)
+        assert first == second
+
+    def test_matches_committed_golden(self, monkeypatch):
+        rendered = _render_fixture(monkeypatch)
+        if os.environ.get("REGEN_GOLDEN"):
+            GOLDEN.write_text(rendered + "\n", encoding="utf-8")
+        assert GOLDEN.is_file(), (
+            f"golden file missing; regenerate per the module docstring"
+        )
+        assert rendered == GOLDEN.read_text(encoding="utf-8").rstrip("\n"), (
+            "SARIF output drifted from tests/data/lint_golden.sarif; if the "
+            "change is intentional (new rule, reworded description), "
+            "regenerate the golden per the module docstring"
+        )
+
+    def test_fixture_actually_finds_something(self, monkeypatch):
+        # An empty result would make the golden test vacuous.
+        log = json.loads(_render_fixture(monkeypatch))
+        assert log["runs"][0]["results"], "fixture produced no findings"
+
+
+class TestSchemaShape:
+    def test_log_shape(self, monkeypatch):
+        log = json.loads(_render_fixture(monkeypatch))
+        assert log["$schema"].endswith("sarif-2.1.0.json")
+        assert log["version"] == "2.1.0"
+        assert len(log["runs"]) == 1
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"]
+        assert driver["rules"]
+
+    def test_driver_rules_are_unique_and_complete(self, monkeypatch):
+        log = json.loads(_render_fixture(monkeypatch))
+        driver = log["runs"][0]["tool"]["driver"]
+        ids = [r["id"] for r in driver["rules"]]
+        assert len(ids) == len(set(ids))
+        assert _SYNTAX_RULE_META["id"] in ids
+        # Every rule entry carries name + shortDescription text.
+        for rule in driver["rules"]:
+            assert rule["name"]
+            assert rule["shortDescription"]["text"]
+
+    def test_every_result_references_a_declared_rule(self, monkeypatch):
+        log = json.loads(_render_fixture(monkeypatch))
+        run = log["runs"][0]
+        declared = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        for result in run["results"]:
+            assert result["ruleId"] in declared
+            assert result["level"] == "error"
+            assert result["message"]["text"]
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+            uri = (result["locations"][0]["physicalLocation"]
+                   ["artifactLocation"]["uri"])
+            assert "\\" not in uri  # forward slashes, machine-independent
+            assert not uri.startswith("/")
