@@ -1,0 +1,147 @@
+"""Elastic-capacity chaos benchmark — reclamation storm under a live
+provisioner.
+
+Drives a two-node fleet with a :class:`repro.cluster.Provisioner` (one
+warm standby, seeded provision latencies) through a reclamation storm:
+spot reclaims on both seed nodes, a provision-fail window, and a
+warm-pool exhaustion.  Asserts the robustness contract end to end:
+
+* the run replays byte-identically (telemetry digest, which folds in the
+  full lifecycle history, matches across two runs);
+* the session-accountability ledger balances to zero — every admitted
+  session is completed, running, requeued, dead-lettered with an
+  explicit reason, or a de-duplicated requeue;
+* replacement capacity actually lands (warm promotion + cold boots).
+
+The headline numbers land in ``BENCH_chaos.json`` (uploaded by the CI
+chaos job): reclaim-to-drain latency per reclaimed node and the
+requeued-vs-dead-lettered split of displaced sessions.
+"""
+
+import json
+from pathlib import Path
+
+from benchmarks.conftest import HARNESS_SEED, print_block
+from repro.analysis.report import format_table
+from repro.baselines import CoCGStrategy
+from repro.cluster import (
+    ClusterScheduler,
+    FleetExperiment,
+    FleetNode,
+    Provisioner,
+    ProvisionerConfig,
+)
+from repro.faults import reclaim_storm_plan
+
+HORIZON = 1800
+RATE = 2.0
+GAMES = ("genshin", "contra")
+NODES = ("node-0", "node-1")
+
+
+def _run_storm(profiles, catalog):
+    game_profiles = {g: profiles[g] for g in GAMES}
+    nodes = [
+        FleetNode(
+            name, CoCGStrategy(), game_profiles, seed=HARNESS_SEED + i
+        )
+        for i, name in enumerate(NODES)
+    ]
+    cluster = ClusterScheduler(nodes, policy="round-robin")
+    provisioner = Provisioner(
+        cluster,
+        lambda node_id: FleetNode(
+            node_id, CoCGStrategy(), game_profiles, seed=HARNESS_SEED
+        ),
+        config=ProvisionerConfig(warm_pool_size=1, latency_base=20.0),
+        seed=HARNESS_SEED,
+    )
+    result = FleetExperiment(
+        cluster,
+        [catalog[g] for g in GAMES],
+        horizon=HORIZON,
+        rate_per_minute=RATE,
+        seed=HARNESS_SEED,
+        fault_plan=reclaim_storm_plan(HORIZON, seed=HARNESS_SEED, nodes=NODES),
+        provisioner=provisioner,
+    ).run()
+    return cluster, provisioner, result
+
+
+def _drain_latencies(provisioner):
+    """Per-node seconds from reclaim notice to the drain completing."""
+    notice, done = {}, {}
+    for event in provisioner.events:
+        if event.state == "reclaim-notice":
+            notice.setdefault(event.node, event.time)
+        elif event.state == "reclaimed":
+            done.setdefault(event.node, event.time)
+    return {
+        node: round(done[node] - notice[node], 3)
+        for node in sorted(notice)
+        if node in done
+    }
+
+
+def test_reclamation_storm_provisioning(profiles, catalog):
+    cluster, provisioner, result = _run_storm(profiles, catalog)
+    _, _, replay = _run_storm(profiles, catalog)
+
+    # The whole capacity history is part of the deterministic contract.
+    assert result.telemetry_digest == replay.telemetry_digest, (
+        "reclamation storm does not replay byte-identically"
+    )
+    assert result.session_accounting == replay.session_accounting
+
+    # Graceful drain: zero unaccounted sessions, explicit reasons only.
+    assert result.unaccounted_sessions == 0, result.session_accounting
+    reclaim_dead = [d for d in result.dead_letters if d.reason == "reclaim"]
+    assert all(d.fault_index >= 0 for d in reclaim_dead)
+
+    # Both seed nodes were reclaimed and replacement capacity landed.
+    assert cluster.reclaimed_nodes == len(NODES)
+    assert provisioner.counts["warm_promoted"] >= 1
+    assert cluster.up_count >= 1
+
+    latencies = _drain_latencies(provisioner)
+    assert set(latencies) == set(NODES)
+
+    acct = result.session_accounting
+    stats = {
+        "digest": result.telemetry_digest,
+        "horizon_seconds": HORIZON,
+        "reclaim_to_drain_seconds": latencies,
+        "sessions": {
+            "dispatched": acct["dispatched"],
+            "completed": acct["completed"],
+            "requeued": acct["requeued"],
+            "requeue_dupes": acct["requeue_dupes"],
+            "dead_lettered_reclaim": len(reclaim_dead),
+            "dead_lettered_total": len(result.dead_letters),
+            "unaccounted": result.unaccounted_sessions,
+        },
+        "provisioner": provisioner.stats(),
+    }
+    Path("BENCH_chaos.json").write_text(
+        json.dumps(stats, indent=2, sort_keys=True) + "\n"
+    )
+
+    rows = [
+        [node, latencies[node]] for node in sorted(latencies)
+    ]
+    print_block(
+        format_table(
+            ["reclaimed node", "notice-to-drain s"],
+            rows,
+            title=f"Reclamation storm over {len(NODES)} nodes "
+                  f"({RATE}/min arrivals, {HORIZON}s, warm pool 1)",
+        )
+    )
+    print(f"sessions dispatched:   {acct['dispatched']}")
+    print(f"sessions requeued:     {acct['requeued']} "
+          f"(+{acct['requeue_dupes']} de-duplicated)")
+    print(f"dead-lettered reclaim: {len(reclaim_dead)} "
+          f"of {len(result.dead_letters)} total")
+    print(f"provision requests:    {provisioner.counts['requested']} "
+          f"({provisioner.counts['retried']} retried)")
+    print(f"digest: {result.telemetry_digest}")

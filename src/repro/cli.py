@@ -291,20 +291,67 @@ def cmd_serve(args) -> int:
 
 
 def cmd_chaos(args) -> int:
-    """``cocg chaos``: the fleet run with vs. without injected faults."""
+    """``cocg chaos``: the fleet run with vs. without injected faults.
+
+    ``--validate`` parses and checks ``--plan`` without running anything
+    (exit 1 on any problem); ``--scenario reclaim-storm`` runs the
+    elastic-capacity storm with a provisioner attached.
+    """
     import json
     from pathlib import Path
 
-    from repro.cluster import ClusterScheduler, FleetNode
-    from repro.faults import FaultPlan, default_plan, run_chaos
+    from repro.cluster import ClusterScheduler, FleetNode, Provisioner, ProvisionerConfig
+    from repro.faults import (
+        FaultPlan,
+        default_plan,
+        reclaim_storm_plan,
+        run_chaos,
+        validate_plan_payload,
+    )
     from repro.games.catalog import build_catalog
     from repro.obs import Observer
+
+    if args.validate:
+        if not args.plan:
+            print("--validate needs --plan <plan.json>")
+            return 2
+        try:
+            payload = json.loads(Path(args.plan).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{args.plan}: cannot read plan: {exc}")
+            return 1
+        errors = validate_plan_payload(payload)
+        if errors:
+            print(f"{args.plan}: {len(errors)} problem(s)")
+            for error in errors:
+                print(f"  {error}")
+            return 1
+        plan = FaultPlan.from_dict(payload)
+        print(f"{args.plan}: ok ({len(plan)} faults, seed {plan.seed})")
+        return 0
+
+    if not args.games:
+        print("at least one GAME is required (unless --validate)")
+        return 2
 
     catalog = build_catalog()
     profiles = _load_or_build_profiles(args.games, args)
     if args.plan:
-        plan = FaultPlan.from_dict(json.loads(Path(args.plan).read_text()))
+        try:
+            plan = FaultPlan.from_dict(json.loads(Path(args.plan).read_text()))
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            print(f"{args.plan}: bad fault plan: {exc}")
+            print("hint: cocg chaos --validate --plan "
+                  f"{args.plan} lists every problem")
+            return 2
         print(f"loaded fault plan: {args.plan} ({len(plan)} faults)")
+    elif args.scenario == "reclaim-storm":
+        plan = reclaim_storm_plan(
+            args.horizon,
+            seed=args.seed,
+            nodes=tuple(f"node-{i}" for i in range(args.nodes)),
+        )
+        print(f"scenario: reclaim-storm ({len(plan)} faults)")
     else:
         plan = default_plan(
             args.horizon, seed=args.seed, crash_node=f"node-{args.nodes - 1}"
@@ -322,6 +369,25 @@ def cmd_chaos(args) -> int:
         ]
         return ClusterScheduler(nodes, policy=args.policy)
 
+    make_provisioner = None
+    warm_pool = args.warm_pool
+    if warm_pool is None and args.scenario == "reclaim-storm":
+        warm_pool = 1
+    if warm_pool is not None:
+
+        def make_provisioner(cluster: ClusterScheduler) -> Provisioner:
+            return Provisioner(
+                cluster,
+                lambda node_id: FleetNode(
+                    node_id,
+                    _make_strategy(args.strategy),
+                    profiles,
+                    seed=args.seed,
+                ),
+                config=ProvisionerConfig(warm_pool_size=warm_pool),
+                seed=args.seed,
+            )
+
     obs = Observer() if getattr(args, "obs_out", None) else None
     report = run_chaos(
         make_cluster,
@@ -330,6 +396,7 @@ def cmd_chaos(args) -> int:
         horizon=args.horizon,
         rate_per_minute=args.rate,
         seed=args.seed,
+        make_provisioner=make_provisioner,
         obs=obs,
     )
     print()
@@ -340,6 +407,12 @@ def cmd_chaos(args) -> int:
         metrics_path, trace_path = obs.write(args.obs_out)
         print(f"observability (faulted run): {metrics_path} + {trace_path} "
               f"(trace digest {obs.trace_digest()[:16]}…)")
+    if report.faulted.unaccounted_sessions:
+        print(
+            f"WARNING: {report.faulted.unaccounted_sessions} unaccounted "
+            "sessions — the robustness ledger does not balance"
+        )
+        return 1
     return 0
 
 
@@ -501,12 +574,23 @@ def build_parser() -> argparse.ArgumentParser:
     ch = sub.add_parser(
         "chaos", help="fleet experiment under an injected fault plan"
     )
-    ch.add_argument("games", nargs="+")
+    ch.add_argument("games", nargs="*",
+                    help="game mix (required unless --validate)")
     ch.add_argument("--nodes", type=int, default=2)
     ch.add_argument("--policy", choices=("first-fit", "best-fit", "round-robin"),
                     default="round-robin")
     ch.add_argument("--strategy", choices=_STRATEGIES, default="cocg")
     ch.add_argument("--plan", help="fault-plan JSON file (default: demo plan)")
+    ch.add_argument("--validate", action="store_true",
+                    help="parse and check --plan without running; "
+                         "non-zero exit on any unknown kind/field")
+    ch.add_argument("--scenario", choices=("default", "reclaim-storm"),
+                    default="default",
+                    help="built-in plan when --plan is absent "
+                         "(reclaim-storm attaches a provisioner)")
+    ch.add_argument("--warm-pool", type=int, default=None, metavar="N",
+                    help="attach a Provisioner with N pre-booted standbys "
+                         "(implied =1 by --scenario reclaim-storm)")
     ch.add_argument("--rate", type=float, default=2.0, help="arrivals per minute")
     ch.add_argument("--horizon", type=int, default=900)
     ch.add_argument("--seed", type=int, default=0)

@@ -13,14 +13,22 @@ rescale.
   routes each request to a node by policy (first-fit / best-fit /
   round-robin); once placed, a game never migrates (cloud games cannot
   be migrated or stopped, §I).
+* :class:`~repro.cluster.provisioner.Provisioner` — the capacity plane:
+  owns the node lifecycle (``REQUESTED → PROVISIONING → WARMING → UP →
+  DRAINING/RECLAIM_NOTICE → DOWN``) as deterministic engine events —
+  seeded provision latency, warm pools, retry/timeout on failures, and
+  spot reclamation with graceful session drain.
 * :class:`~repro.cluster.experiment.FleetExperiment` — the fleet-scale
   driver over Poisson arrivals, optionally replaying a
-  :class:`~repro.faults.plan.FaultPlan`.
+  :class:`~repro.faults.plan.FaultPlan` and running a provisioner.
 
 Resilience surface: nodes carry a :class:`~repro.cluster.fleet.NodeHealth`
 state consulted by every dispatch policy, rejected requests retry with
-exponential backoff in a bounded queue, and exhausted retries land in
-:class:`~repro.cluster.fleet.DeadLetter` records.
+exponential backoff in a bounded queue, exhausted retries land in
+:class:`~repro.cluster.fleet.DeadLetter` records, and the scheduler's
+session-accountability ledger
+(:meth:`~repro.cluster.fleet.ClusterScheduler.session_accounting`)
+balances to zero under any fault plan.
 """
 
 from repro.cluster.fleet import (
@@ -30,6 +38,11 @@ from repro.cluster.fleet import (
     NodeHealth,
     PendingRequest,
 )
+from repro.cluster.provisioner import (
+    LifecycleEvent,
+    Provisioner,
+    ProvisionerConfig,
+)
 from repro.cluster.experiment import FleetExperiment, FleetResult
 
 __all__ = [
@@ -38,6 +51,9 @@ __all__ = [
     "NodeHealth",
     "DeadLetter",
     "PendingRequest",
+    "Provisioner",
+    "ProvisionerConfig",
+    "LifecycleEvent",
     "FleetExperiment",
     "FleetResult",
 ]

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.cluster.fleet import ClusterScheduler, DeadLetter
+from repro.cluster.provisioner import Provisioner
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.games.spec import GameSpec
@@ -74,8 +75,19 @@ class FleetResult:
     fault_events:
         Human-readable log of faults applied during the run.
     telemetry_digest:
-        SHA-256 over every node's telemetry — byte-identical across
-        replays of the same seeds and fault plan.
+        SHA-256 over every node's telemetry (plus the gateway's events
+        and the provisioner's lifecycle log when attached) —
+        byte-identical across replays of the same seeds and fault plan.
+    session_accounting:
+        The accountability ledger
+        (:meth:`~repro.cluster.fleet.ClusterScheduler.session_accounting`).
+    unaccounted_sessions:
+        Ledger imbalance — the robustness contract requires 0 under any
+        fault plan (every dispatched session ends completed, running,
+        requeued, or accountably dead-lettered/abandoned).
+    provisioner_stats:
+        Lifecycle counters of the attached provisioner (empty without
+        one).
     """
 
     completed_runs: Dict[str, int]
@@ -93,6 +105,9 @@ class FleetResult:
     evictions: int = 0
     fault_events: List[str] = field(default_factory=list)
     telemetry_digest: str = ""
+    session_accounting: Dict[str, int] = field(default_factory=dict)
+    unaccounted_sessions: int = 0
+    provisioner_stats: Dict[str, int] = field(default_factory=dict)
 
 
 class FleetExperiment:
@@ -114,6 +129,12 @@ class FleetExperiment:
         Control/retry period.
     fault_plan:
         Optional fault schedule replayed into the run.
+    provisioner:
+        Optional :class:`~repro.cluster.provisioner.Provisioner`.  When
+        given it is attached to the run's engine before faults are
+        armed: the warm pool pre-boots at t=0, the maintenance loop
+        promotes/refills on its own period, and its lifecycle digest is
+        folded into :attr:`FleetResult.telemetry_digest`.
     obs:
         Optional :class:`~repro.obs.Observer` wired through the whole
         stack before the run starts: the cluster (dispatch counters,
@@ -132,6 +153,7 @@ class FleetExperiment:
         seed: Seed = 0,
         detect_interval: int = 5,
         fault_plan: Optional[FaultPlan] = None,
+        provisioner: Optional["Provisioner"] = None,
         obs: Optional[Observer] = None,
     ):
         if horizon < 1:
@@ -143,6 +165,7 @@ class FleetExperiment:
         self.horizon = int(horizon)
         self.detect_interval = int(detect_interval)
         self.fault_plan = fault_plan
+        self.provisioner = provisioner
         self.obs = obs
         if obs is not None:
             cluster.attach_observer(obs)
@@ -164,6 +187,10 @@ class FleetExperiment:
         """Execute the run and aggregate fleet-wide results."""
         engine = SimulationEngine()
         started_waits: List[float] = []
+        if self.provisioner is not None:
+            # Before faults arm: the injector resolves provisioner
+            # fault kinds through cluster.provisioner.
+            self.provisioner.attach(engine)
         injector: Optional[FaultInjector] = None
         if self.fault_plan is not None and len(self.fault_plan):
             injector = FaultInjector(
@@ -229,6 +256,11 @@ class FleetExperiment:
             digest.update(
                 f"gateway:{self.cluster.gateway.telemetry.digest()}\n".encode()
             )
+        if self.provisioner is not None:
+            # Capacity history is part of the replay contract too.
+            digest.update(
+                f"provisioner:{self.provisioner.digest()}\n".encode()
+            )
         fault_log = list(injector.applied) if injector is not None else []
         return FleetResult(
             completed_runs=completed,
@@ -252,4 +284,11 @@ class FleetExperiment:
             evictions=self.cluster.evictions,
             fault_events=fault_log,
             telemetry_digest=digest.hexdigest(),
+            session_accounting=self.cluster.session_accounting(),
+            unaccounted_sessions=self.cluster.unaccounted_sessions(),
+            provisioner_stats=(
+                self.provisioner.stats()
+                if self.provisioner is not None
+                else {}
+            ),
         )

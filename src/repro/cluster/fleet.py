@@ -29,8 +29,10 @@ from repro.core.pipeline import GameProfile
 from repro.games.session import GameSession
 from repro.obs.naming import (
     CLUSTER_DISPATCH,
+    CLUSTER_LIFECYCLE,
     CLUSTER_PUMP_ROUNDS,
     STREAM_CLUSTER,
+    lifecycle_span,
 )
 from repro.obs.observer import Observer
 from repro.platform_.allocator import Allocator
@@ -56,25 +58,40 @@ __all__ = [
 
 
 class NodeHealth(Enum):
-    """Dispatch-visible node state.
+    """Dispatch-visible node lifecycle state.
 
-    ``up`` admits and runs; ``draining`` keeps its sessions but admits
-    nothing; ``down`` has lost capacity and sessions alike.
+    Only ``up`` admits new sessions.  ``warming`` is a provisioned
+    standby that has not joined dispatch yet; ``draining`` and
+    ``reclaim-notice`` keep their sessions but admit nothing (the latter
+    is a spot node living out its reclamation notice window); ``down``
+    has lost capacity and sessions alike.  The request-phase states
+    (``requested``/``provisioning``) live in
+    :class:`~repro.cluster.provisioner.Provisioner` — they precede the
+    node object itself.
     """
 
+    WARMING = "warming"
     UP = "up"
     DRAINING = "draining"
+    RECLAIM_NOTICE = "reclaim-notice"
     DOWN = "down"
 
 
 @dataclass(frozen=True)
 class DeadLetter:
-    """A request the cluster gave up on (with why and when)."""
+    """A request the cluster gave up on (with why and when).
+
+    ``fault_index`` is the position of the originating fault in the
+    replayed :class:`~repro.faults.plan.FaultPlan` (``scheduled()``
+    order) when a fault displaced the request — ``None`` for organic
+    dead letters (overflow, patience, retries without a fault cause).
+    """
 
     request: GameRequest
     time: float
     attempts: int
     reason: str
+    fault_index: Optional[int] = None
 
 
 @dataclass
@@ -83,13 +100,16 @@ class PendingRequest:
 
     ``attempts`` counts failed dispatch rounds; ``incarnation`` counts
     crash-requeues (it suffixes the session id so a restarted run never
-    collides with its dead predecessor's telemetry).
+    collides with its dead predecessor's telemetry); ``fault_index``
+    remembers which fault displaced the request so a later dead letter
+    stays attributable.
     """
 
     request: GameRequest
     attempts: int = 0
     incarnation: int = 0
     next_try: float = 0.0
+    fault_index: Optional[int] = None
 
 
 class FleetNode:
@@ -134,7 +154,7 @@ class FleetNode:
         if platform is not REFERENCE_PLATFORM:
             profiles = {
                 name: profile.rescaled(platform)
-                for name, profile in profiles.items()
+                for name, profile in sorted(profiles.items())
             }
         # Canonical key order: profile dicts arrive in caller-dependent
         # order, and every downstream scan (strategy attach, telemetry,
@@ -148,6 +168,8 @@ class FleetNode:
         self.requests: Dict[str, GameRequest] = {}
         self.completed: Dict[str, int] = {}
         self.health = NodeHealth.UP
+        self.obs: Optional[Observer] = None
+        self._c_lifecycle = None
 
     # ------------------------------------------------------------------
     def attach_observer(self, obs: Observer) -> None:
@@ -156,8 +178,15 @@ class FleetNode:
         Forwards to the QoS tracker (degraded-seconds counter) and, when
         the strategy exposes a CoCG scheduler, to the scheduler
         (decision counters, control spans) and its distributor
-        (Algorithm-1 counters).
+        (Algorithm-1 counters).  Lifecycle transitions additionally land
+        in ``cluster_lifecycle_transitions_total{state}``.
         """
+        self.obs = obs
+        self._c_lifecycle = obs.counter(
+            CLUSTER_LIFECYCLE,
+            "Node lifecycle transitions by resulting state.",
+            ("state",),
+        )
         self.qos.attach_observer(obs, node=self.node_id)
         sched = getattr(self.strategy, "scheduler", None)
         if sched is not None and hasattr(sched, "attach_observer"):
@@ -258,24 +287,58 @@ class FleetNode:
             self.telemetry.record_fault_event(time, "session-kill", sid)
         return killed
 
+    def transition(
+        self, health: NodeHealth, time: float, kind: str, detail: str = ""
+    ) -> None:
+        """The single lifecycle-transition point.
+
+        Records the transition as a telemetry fault event (so it enters
+        the fleet digest) and, when observed, counts it in
+        ``cluster_lifecycle_transitions_total{state}``.
+        """
+        self.health = health
+        self.telemetry.record_fault_event(time, kind, detail or self.node_id)
+        if self._c_lifecycle is not None:
+            self.obs.tick(time)
+            self._c_lifecycle.labels(state=health.value).inc(time=time)
+
     def crash(self, time: float) -> List[Tuple[str, GameRequest]]:
         """Take the node ``down``; every hosted session dies."""
-        self.health = NodeHealth.DOWN
+        self.health = NodeHealth.DOWN  # before the kill: no re-admission
         killed = self.kill_matching(time)
-        self.telemetry.record_fault_event(
-            time, "node-crash", f"{self.node_id}: {len(killed)} sessions killed"
+        self.transition(
+            NodeHealth.DOWN, time, "node-crash",
+            f"{self.node_id}: {len(killed)} sessions killed",
         )
         return killed
 
     def recover(self, time: float) -> None:
         """Bring the node back to ``up``."""
-        self.health = NodeHealth.UP
-        self.telemetry.record_fault_event(time, "node-recover", self.node_id)
+        self.transition(NodeHealth.UP, time, "node-recover")
 
     def drain(self, time: float) -> None:
         """Stop admitting; keep running sessions."""
-        self.health = NodeHealth.DRAINING
-        self.telemetry.record_fault_event(time, "node-drain", self.node_id)
+        self.transition(NodeHealth.DRAINING, time, "node-drain")
+
+    def warm(self, time: float) -> None:
+        """Mark the node a pre-booted standby (no dispatch yet)."""
+        self.transition(NodeHealth.WARMING, time, "node-warming")
+
+    def promote(self, time: float) -> None:
+        """Bring a warm standby into dispatch rotation."""
+        self.transition(NodeHealth.UP, time, "node-up")
+
+    def reclaim_notice(self, time: float, *, notice: float) -> None:
+        """Start the spot-reclamation notice window.
+
+        The node keeps running its sessions but admits nothing; after
+        ``notice`` seconds the platform takes the capacity away
+        (:meth:`ClusterScheduler.finish_reclaim`).
+        """
+        self.transition(
+            NodeHealth.RECLAIM_NOTICE, time, "reclaim-notice",
+            f"{self.node_id}: down in {notice:.0f}s",
+        )
 
     # ------------------------------------------------------------------
     def headroom(self) -> float:
@@ -311,6 +374,10 @@ def dispatch_order(
       first, with the node id as a deterministic tie-break when two
       nodes report identical headroom;
     * ``round-robin`` — the healthy list rotated by ``rr_offset``.
+
+    "Healthy" is exactly :attr:`NodeHealth.UP` — a ``warming`` standby,
+    a ``draining`` node, a spot node under ``reclaim-notice`` and a
+    ``down`` node are all non-candidates in every policy.
     """
     up = [n for n in nodes if n.health is NodeHealth.UP]
     if policy == "round-robin":
@@ -382,12 +449,21 @@ class ClusterScheduler:
         self._rr = 0
         self._queue: List[PendingRequest] = []  # lint: disable=CG009 - bounded by queue_limit in submit()
         self.gateway: Optional["AdmissionGateway"] = None
+        self.provisioner = None  # set by Provisioner.attach_cluster
         self._incarnations: Dict[int, int] = {}
         self.dead_letters: List[DeadLetter] = []
         self.dispatched = 0
         self.deferred = 0
         self.requeues = 0
+        self.requeue_dupes = 0
         self.evictions = 0
+        self.abandoned = 0
+        self.reclaimed_nodes = 0
+        #: Capacity the fleet is *supposed* to hold (UP nodes).  The
+        #: backpressure coupling in the gateway compares the live UP
+        #: count against this; a provisioner overrides it with its
+        #: ``target_up``.
+        self.capacity_target = len(self.nodes)
         self.obs: Optional[Observer] = None
         self._c_dispatched = None
         self._c_deferred = None
@@ -444,12 +520,34 @@ class ClusterScheduler:
         """
         self.gateway = gateway
 
+    def add_node(self, node: FleetNode) -> None:
+        """Grow the fleet by one node (a provisioned/warm standby).
+
+        The node joins in whatever lifecycle state it carries — a
+        ``warming`` standby is a non-candidate until promoted.  Does not
+        move :attr:`capacity_target`; elasticity is about *reaching* the
+        target, not inflating it.
+        """
+        if any(n.node_id == node.node_id for n in self.nodes):
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self.nodes.append(node)
+        if self.obs is not None:
+            node.attach_observer(self.obs)
+
     def node(self, node_id: str) -> FleetNode:
-        """Look a node up by id."""
+        """Look a node up by id.
+
+        The error message lists every known node *with its lifecycle
+        state*, so a miss during an elastic run shows at a glance
+        whether the node was reclaimed, still warming, or never existed.
+        """
         for node in self.nodes:
             if node.node_id == node_id:
                 return node
-        raise KeyError(f"no node {node_id!r}; have {[n.node_id for n in self.nodes]}")
+        known = ", ".join(
+            f"{n.node_id}={n.health.value}" for n in self.nodes
+        )
+        raise KeyError(f"no node {node_id!r}; known nodes: {{{known}}}")
 
     def dispatch(
         self,
@@ -504,12 +602,15 @@ class ClusterScheduler:
         *,
         time: float,
         incarnation: int = 0,
+        fault_index: Optional[int] = None,
     ) -> bool:
         """Queue a request for dispatch; False = dead-lettered/shed.
 
         With a gateway attached the request goes through admission
         control instead: it is queued per category (True) or shed
-        (False) according to the gateway's bounds.
+        (False) according to the gateway's bounds.  ``fault_index``
+        (retry-queue path) attributes any later dead letter to the
+        fault that displaced the request.
         """
         if self.gateway is not None:
             outcome: "AdmissionOutcome" = self.gateway.offer(
@@ -518,11 +619,17 @@ class ClusterScheduler:
             return outcome.accepted
         if len(self._queue) >= self.queue_limit:
             self.dead_letters.append(
-                DeadLetter(request, float(time), 0, "queue overflow")
+                DeadLetter(
+                    request, float(time), 0, "queue overflow",
+                    fault_index=fault_index,
+                )
             )
             return False
         self._queue.append(
-            PendingRequest(request, incarnation=incarnation, next_try=float(time))
+            PendingRequest(
+                request, incarnation=incarnation, next_try=float(time),
+                fault_index=fault_index,
+            )
         )
         return True
 
@@ -568,7 +675,7 @@ class ClusterScheduler:
                 self.dead_letters.append(
                     DeadLetter(
                         entry.request, float(time), entry.attempts,
-                        "retries exhausted",
+                        "retries exhausted", fault_index=entry.fault_index,
                     )
                 )
             else:
@@ -587,19 +694,49 @@ class ClusterScheduler:
     # ------------------------------------------------------------------
     # Fault surface
     # ------------------------------------------------------------------
-    def _requeue(self, request: GameRequest, time: float) -> None:
+    def _is_pending(self, request_id: int) -> bool:
+        """Whether a request already waits in the retry queue/gateway."""
+        if any(e.request.request_id == request_id for e in self._queue):
+            return True
+        return self.gateway is not None and self.gateway.has_pending(
+            request_id
+        )
+
+    def _requeue(
+        self,
+        request: GameRequest,
+        time: float,
+        *,
+        fault_index: Optional[int] = None,
+    ) -> None:
         rid = request.request_id
+        if self._is_pending(rid):
+            # A drain/reclaim kill racing an active retry backoff must
+            # not enqueue the same request twice; the averted duplicate
+            # stays visible in the accounting.
+            self.requeue_dupes += 1
+            return
         self._incarnations[rid] = self._incarnations.get(rid, 0) + 1
         self.requeues += 1
-        self.submit(request, time=time, incarnation=self._incarnations[rid])
+        self.submit(
+            request,
+            time=time,
+            incarnation=self._incarnations[rid],
+            fault_index=fault_index,
+        )
 
     def crash_node(
-        self, node_id: str, time: float, *, requeue: bool = True
+        self,
+        node_id: str,
+        time: float,
+        *,
+        requeue: bool = True,
+        fault_index: Optional[int] = None,
     ) -> List[str]:
         """Kill a node; returns the displaced session ids.
 
         Displaced requests re-enter the retry queue (``requeue=True``)
-        or vanish (players abandon).
+        or vanish (players abandon — counted in :attr:`abandoned`).
         """
         node = self.node(node_id)
         if node.health is NodeHealth.DOWN:
@@ -608,7 +745,9 @@ class ClusterScheduler:
         self.evictions += len(killed)
         if requeue:
             for _sid, request in killed:
-                self._requeue(request, time)
+                self._requeue(request, time, fault_index=fault_index)
+        else:
+            self.abandoned += len(killed)
         return [sid for sid, _ in killed]
 
     def recover_node(self, node_id: str, time: float) -> None:
@@ -619,6 +758,71 @@ class ClusterScheduler:
         """Take a node out of dispatch rotation, keeping its sessions."""
         self.node(node_id).drain(time)
 
+    def begin_reclaim(
+        self,
+        node_id: str,
+        time: float,
+        *,
+        notice: float,
+        fault_index: Optional[int] = None,
+    ) -> bool:
+        """Serve a spot-reclamation notice on a node.
+
+        The node enters ``reclaim-notice``: it leaves dispatch rotation
+        immediately but keeps running its sessions for the ``notice``
+        window (sessions that finish in time simply complete).  Returns
+        False when the node is already down/warming (nothing to
+        reclaim).  :meth:`finish_reclaim` takes the capacity away.
+        """
+        node = self.node(node_id)
+        if node.health in (NodeHealth.DOWN, NodeHealth.WARMING):
+            return False
+        node.reclaim_notice(time, notice=notice)
+        if self.obs is not None:
+            self.obs.record_span(
+                lifecycle_span(node_id), time, time + notice,
+                stream=STREAM_CLUSTER, state="reclaim-notice",
+                fault_index=-1 if fault_index is None else fault_index,
+            )
+        return True
+
+    def finish_reclaim(
+        self,
+        node_id: str,
+        time: float,
+        *,
+        requeue: bool = True,
+        fault_index: Optional[int] = None,
+    ) -> List[str]:
+        """Take a reclaimed node's capacity away (notice expired).
+
+        Sessions still alive are *never silently lost*: each displaced
+        request re-enters the bounded retry path (``requeue=True``) or
+        is dead-lettered with the explicit reason ``"reclaim"`` —
+        unlike a crash, a reclamation is an accountable platform
+        decision, so an abandon outcome does not exist here.
+        """
+        node = self.node(node_id)
+        if node.health is NodeHealth.DOWN:
+            return []
+        node.health = NodeHealth.DOWN  # no re-admission during the kill
+        killed = node.kill_matching(time)
+        node.transition(
+            NodeHealth.DOWN, time, "node-reclaimed",
+            f"{node.node_id}: {len(killed)} sessions displaced",
+        )
+        self.evictions += len(killed)
+        self.reclaimed_nodes += 1
+        for _sid, request in killed:
+            if requeue:
+                self._requeue(request, time, fault_index=fault_index)
+            else:
+                self.dead_letters.append(DeadLetter(
+                    request, float(time), 0, "reclaim",
+                    fault_index=fault_index,
+                ))
+        return [sid for sid, _ in killed]
+
     def kill_session(
         self,
         time: float,
@@ -626,6 +830,7 @@ class ClusterScheduler:
         node: str = "*",
         session: str = "*",
         requeue: bool = True,
+        fault_index: Optional[int] = None,
     ) -> Optional[str]:
         """Kill the first matching session fleet-wide (crash/abandon)."""
         for fleet_node in self.nodes:
@@ -636,7 +841,9 @@ class ClusterScheduler:
                 sid, request = killed[0]
                 self.evictions += 1
                 if requeue:
-                    self._requeue(request, time)
+                    self._requeue(request, time, fault_index=fault_index)
+                else:
+                    self.abandoned += 1
                 return sid
         return None
 
@@ -659,6 +866,63 @@ class ClusterScheduler:
     def total_running(self) -> int:
         """Sessions currently hosted across the fleet."""
         return sum(node.n_running for node in self.nodes)
+
+    @property
+    def up_count(self) -> int:
+        """Nodes currently in dispatch rotation (``up``)."""
+        return sum(1 for n in self.nodes if n.health is NodeHealth.UP)
+
+    @property
+    def warm_count(self) -> int:
+        """Pre-booted standbys (``warming``) waiting for promotion."""
+        return sum(1 for n in self.nodes if n.health is NodeHealth.WARMING)
+
+    def usable_fraction(self) -> float:
+        """Live UP capacity relative to :attr:`capacity_target`.
+
+        The gateway's backpressure coupling sheds earlier while this is
+        below its configured floor and relaxes as soon as warm nodes
+        land (promotion raises the UP count back toward the target).
+        """
+        if self.capacity_target <= 0:
+            return 1.0
+        return self.up_count / self.capacity_target
+
+    def session_accounting(self) -> Dict[str, int]:
+        """The robustness ledger: where every admitted session went.
+
+        Two identities must hold at any quiescent point (and are
+        asserted by tests/CI under reclamation storms):
+
+        * ``dispatched == completed + running + evicted`` — every
+          admission is either done, still hosted, or displaced;
+        * ``evicted == requeued + abandoned + reclaim_dead_letters +
+          requeue_dupes`` — every displacement is accounted for.
+        """
+        return {
+            "dispatched": self.dispatched,
+            "completed": sum(self.completed_runs().values()),
+            "running": self.total_running,
+            "evicted": self.evictions,
+            "requeued": self.requeues,
+            "abandoned": self.abandoned,
+            "reclaim_dead_letters": sum(
+                1 for d in self.dead_letters if d.reason == "reclaim"
+            ),
+            "requeue_dupes": self.requeue_dupes,
+        }
+
+    def unaccounted_sessions(self) -> int:
+        """How far the :meth:`session_accounting` ledger is off (0 = sound)."""
+        a = self.session_accounting()
+        placement = a["dispatched"] - (
+            a["completed"] + a["running"] + a["evicted"]
+        )
+        displacement = a["evicted"] - (
+            a["requeued"] + a["abandoned"] + a["reclaim_dead_letters"]
+            + a["requeue_dupes"]
+        )
+        return abs(placement) + abs(displacement)
 
     def completed_runs(self) -> Dict[str, int]:
         """Fleet-wide completed runs per game."""

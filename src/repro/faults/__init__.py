@@ -13,7 +13,7 @@ The package splits into leaves and heavy modules:
 from __future__ import annotations
 
 from repro.faults.health import BreakerState, PredictorHealth
-from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec, validate_plan_payload
 
 __all__ = [  # lint: disable=CG004
     "BreakerState",
@@ -21,10 +21,12 @@ __all__ = [  # lint: disable=CG004
     "FaultKind",
     "FaultPlan",
     "FaultSpec",
+    "validate_plan_payload",
     "FAULT_PRIORITY",
     "FaultInjector",
     "ChaosReport",
     "default_plan",
+    "reclaim_storm_plan",
     "run_chaos",
 ]
 
@@ -33,6 +35,7 @@ _LAZY = {
     "FaultInjector": "repro.faults.injector",
     "ChaosReport": "repro.faults.chaos",
     "default_plan": "repro.faults.chaos",
+    "reclaim_storm_plan": "repro.faults.chaos",
     "run_chaos": "repro.faults.chaos",
 }
 

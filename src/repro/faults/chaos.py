@@ -15,12 +15,13 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.cluster.experiment import FleetExperiment, FleetResult
 from repro.cluster.fleet import ClusterScheduler
+from repro.cluster.provisioner import Provisioner
 from repro.faults.plan import FaultPlan
 from repro.games.spec import GameSpec
 from repro.obs.observer import Observer
 from repro.util.rng import Seed
 
-__all__ = ["ChaosReport", "default_plan", "run_chaos"]
+__all__ = ["ChaosReport", "default_plan", "reclaim_storm_plan", "run_chaos"]
 
 
 def default_plan(
@@ -36,6 +37,35 @@ def default_plan(
             max(1.0, horizon / 4.0), recover_after=horizon / 4.0
         )
     )
+
+
+def reclaim_storm_plan(
+    horizon: int,
+    *,
+    seed: int = 0,
+    nodes: Sequence[str] = ("n1", "n2"),
+    notice: float = 45.0,
+) -> FaultPlan:
+    """A reclamation storm: staggered spot reclaims under capacity stress.
+
+    Spot reclaims hit the given nodes one after another through the
+    middle of the run while a provision-fail window delays the first
+    replacements and the warm pool is exhausted once — the scenario the
+    session-accountability invariant is asserted under (zero unaccounted
+    sessions; see ``docs/FAULTS.md``).  Needs a
+    :class:`~repro.cluster.provisioner.Provisioner` to recover capacity;
+    without one the reclaimed nodes just stay down.
+    """
+    plan = FaultPlan(seed=seed)
+    first = max(1.0, horizon / 4.0)
+    step = max(1.0, horizon / (2.0 * max(1, len(nodes))))
+    plan.provision_fail(first, duration=max(30.0, horizon / 8.0))
+    for i, node in enumerate(nodes):
+        plan.spot_reclaim(first + i * step, node, notice=notice)
+    plan.warm_pool_exhaust(
+        max(1.0, first - 10.0), duration=max(30.0, horizon / 10.0)
+    )
+    return plan
 
 
 @dataclass
@@ -102,6 +132,28 @@ class ChaosReport:
             f"QoS-violation delta: {self.violation_delta:+.4f}",
             f"completed-runs delta: {self.completed_delta:+d}",
         ]
+        if chaos.provisioner_stats:
+            stats = chaos.provisioner_stats
+            lines.append("")
+            lines.append(
+                "provisioner: "
+                f"{stats.get('provisioned', 0)} provisioned, "
+                f"{stats.get('warm_promoted', 0)} promoted, "
+                f"{stats.get('retried', 0)} retried, "
+                f"{stats.get('failed', 0)} failed, "
+                f"{stats.get('timed_out', 0)} timed out, "
+                f"{stats.get('reclaimed', 0)} reclaimed"
+            )
+        if chaos.session_accounting:
+            acct = chaos.session_accounting
+            lines.append(
+                "session accounting: "
+                f"{acct.get('dispatched', 0)} dispatched = "
+                f"{acct.get('completed', 0)} completed + "
+                f"{acct.get('running', 0)} running + "
+                f"{acct.get('evicted', 0)} evicted "
+                f"(unaccounted: {chaos.unaccounted_sessions})"
+            )
         if chaos.fault_events:
             lines.append("")
             lines.append("faults applied:")
@@ -118,25 +170,36 @@ def run_chaos(
     rate_per_minute: float = 2.0,
     seed: Seed = 0,
     detect_interval: int = 5,
+    make_provisioner: Optional[
+        Callable[[ClusterScheduler], Provisioner]
+    ] = None,
     obs: Optional[Observer] = None,
 ) -> ChaosReport:
     """Run fault-free and faulted experiments from identical seeds.
 
     ``make_cluster`` must build a *fresh* cluster per call — nodes and
-    strategies are stateful, so the two runs cannot share one.  An
-    ``obs`` observer, when given, is wired into the *faulted* run only
-    (the baseline stays unobserved so the pair shares nothing).
+    strategies are stateful, so the two runs cannot share one.
+    ``make_provisioner``, when given, builds a fresh capacity plane over
+    each run's cluster (both runs get one, so the provisioning faults
+    are the only difference between them).  An ``obs`` observer, when
+    given, is wired into the *faulted* run only (the baseline stays
+    unobserved so the pair shares nothing).
     """
 
     def run(fault_plan, run_obs=None):
+        cluster = make_cluster()
+        provisioner = (
+            make_provisioner(cluster) if make_provisioner is not None else None
+        )
         return FleetExperiment(
-            make_cluster(),
+            cluster,
             specs,
             horizon=horizon,
             rate_per_minute=rate_per_minute,
             seed=seed,
             detect_interval=detect_interval,
             fault_plan=fault_plan,
+            provisioner=provisioner,
             obs=run_obs,
         ).run()
 

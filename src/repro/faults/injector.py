@@ -132,6 +132,12 @@ class FaultInjector:
                 )
         elif kind is FaultKind.PREDICTOR_RECOVER:
             self._arm_predictor(spec, failing=False)
+        elif kind in (FaultKind.PROVISION_FAIL, FaultKind.PROVISION_STALL):
+            self._arm_provision_window(spec)
+        elif kind is FaultKind.SPOT_RECLAIM:
+            self._arm_spot_reclaim(index, spec)
+        elif kind is FaultKind.WARM_POOL_EXHAUST:
+            self._arm_warm_pool_exhaust(spec)
         else:  # pragma: no cover - the enum is closed
             raise ValueError(f"unhandled fault kind {kind!r}")
 
@@ -218,6 +224,94 @@ class FaultInjector:
                     f"until t={spec.end:.0f}s (rate={spec.rate}, std={spec.std})",
                 )
             self._note(engine.now, f"telemetry-{kind} on {len(targets)} nodes")
+
+        self.engine.at(spec.time, fire, priority=FAULT_PRIORITY)
+
+    def _arm_provision_window(self, spec: FaultSpec) -> None:
+        stalling = spec.kind is FaultKind.PROVISION_STALL
+        kind = "provision_stall" if stalling else "provision_fail"
+
+        def fire(engine: SimulationEngine) -> None:
+            self._observe(kind, engine.now, spec.end)
+            provisioner = self.cluster.provisioner
+            if provisioner is None:
+                self._note(
+                    engine.now,
+                    f"{spec.kind.value} <no provisioner attached; no-op>",
+                )
+                return
+            if stalling:
+                provisioner.inject_provision_stall(
+                    spec.time, spec.end, spec.stall
+                )
+                detail = f"stall +{spec.stall:.0f}s"
+            else:
+                provisioner.inject_provision_fail(spec.time, spec.end)
+                detail = "attempts fail"
+            self._note(
+                engine.now,
+                f"{spec.kind.value} until t={spec.end:.0f}s ({detail})",
+            )
+
+        self.engine.at(spec.time, fire, priority=FAULT_PRIORITY)
+
+    def _arm_spot_reclaim(self, index: int, spec: FaultSpec) -> None:
+        def fire(engine: SimulationEngine) -> None:
+            self._observe(
+                "spot_reclaim", engine.now, engine.now + spec.notice
+            )
+            for node in self._match_nodes(spec):
+                provisioner = self.cluster.provisioner
+                if provisioner is not None:
+                    served = provisioner.reclaim(
+                        node.node_id, engine.now, notice=spec.notice,
+                        requeue=spec.requeue, fault_index=index,
+                    )
+                else:
+                    served = self.cluster.begin_reclaim(
+                        node.node_id, engine.now, notice=spec.notice,
+                        fault_index=index,
+                    )
+                    if served:
+                        engine.at(
+                            engine.now + spec.notice,
+                            lambda e, nid=node.node_id: (
+                                self.cluster.finish_reclaim(
+                                    nid, e.now, requeue=spec.requeue,
+                                    fault_index=index,
+                                )
+                            ),
+                            priority=FAULT_PRIORITY,
+                        )
+                self._note(
+                    engine.now,
+                    f"spot-reclaim {node.node_id} "
+                    + (
+                        f"(notice={spec.notice:.0f}s, requeue={spec.requeue})"
+                        if served else "<not reclaimable>"
+                    ),
+                )
+
+        self.engine.at(spec.time, fire, priority=FAULT_PRIORITY)
+
+    def _arm_warm_pool_exhaust(self, spec: FaultSpec) -> None:
+        def fire(engine: SimulationEngine) -> None:
+            self._observe("warm_pool_exhaust", engine.now, spec.end)
+            provisioner = self.cluster.provisioner
+            if provisioner is None:
+                self._note(
+                    engine.now,
+                    "warm-pool-exhaust <no provisioner attached; no-op>",
+                )
+                return
+            taken = provisioner.exhaust_warm_pool(
+                engine.now, duration=spec.duration
+            )
+            self._note(
+                engine.now,
+                f"warm-pool-exhaust ({taken} standbys withdrawn, "
+                f"refills suppressed until t={spec.end:.0f}s)",
+            )
 
         self.engine.at(spec.time, fire, priority=FAULT_PRIORITY)
 

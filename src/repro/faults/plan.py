@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.util.rng import derive_seed
 from repro.util.validation import check_fraction, check_nonnegative
 
-__all__ = ["FaultKind", "FaultSpec", "FaultPlan"]
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "validate_plan_payload"]
 
 
 class FaultKind(Enum):
@@ -47,6 +47,10 @@ class FaultKind(Enum):
     TELEMETRY_NOISE = "telemetry-noise"
     PREDICTOR_FAIL = "predictor-fail"
     PREDICTOR_RECOVER = "predictor-recover"
+    PROVISION_FAIL = "provision-fail"
+    PROVISION_STALL = "provision-stall"
+    SPOT_RECLAIM = "spot-reclaim"
+    WARM_POOL_EXHAUST = "warm-pool-exhaust"
 
 
 @dataclass(frozen=True)
@@ -78,8 +82,14 @@ class FaultSpec:
         For crashes/predictor failures: schedule the matching recovery
         this many seconds later (``None`` = no auto-recovery).
     requeue:
-        For kills/crashes: whether displaced requests re-enter the
-        cluster queue (a crash) or vanish (a player abandon).
+        For kills/crashes/reclaims: whether displaced requests re-enter
+        the cluster queue (a crash) or vanish/dead-letter.
+    notice:
+        Spot-reclamation notice window (seconds the node keeps its
+        sessions after the reclaim fires).
+    stall:
+        Extra seconds a provision attempt hangs inside a
+        ``provision-stall`` window.
     """
 
     kind: FaultKind
@@ -95,6 +105,17 @@ class FaultSpec:
     spike_scale: float = 25.0
     recover_after: Optional[float] = None
     requeue: bool = True
+    notice: float = 120.0
+    stall: float = 30.0
+
+    #: Optional payload keys, in :meth:`to_dict` order (everything but
+    #: ``kind``/``time``).  One tuple serves serialization, strict
+    #: deserialization and :func:`validate_plan_payload`.
+    OPTIONAL_FIELDS = (
+        "node", "session", "game", "backend", "duration", "rate",
+        "std", "spike_prob", "spike_scale", "recover_after", "requeue",
+        "notice", "stall",
+    )
 
     def __post_init__(self) -> None:
         check_nonnegative("time", self.time)
@@ -108,6 +129,8 @@ class FaultSpec:
             raise ValueError(
                 f"recover_after must be > 0, got {self.recover_after}"
             )
+        check_nonnegative("notice", self.notice)
+        check_nonnegative("stall", self.stall)
 
     @property
     def end(self) -> float:
@@ -131,13 +154,10 @@ class FaultSpec:
         return self.backend == "*" or self.backend == backend
 
     def to_dict(self) -> Dict:
-        """JSON-serializable form."""
+        """JSON-serializable form (defaults elided — byte-stable)."""
         out: Dict = {"kind": self.kind.value, "time": self.time}
         defaults = FaultSpec(kind=self.kind, time=self.time)
-        for name in (
-            "node", "session", "game", "backend", "duration", "rate",
-            "std", "spike_prob", "spike_scale", "recover_after", "requeue",
-        ):
+        for name in self.OPTIONAL_FIELDS:
             value = getattr(self, name)
             if value != getattr(defaults, name):
                 out[name] = value
@@ -145,10 +165,33 @@ class FaultSpec:
 
     @staticmethod
     def from_dict(data: Dict) -> "FaultSpec":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Strict: an unknown key raises :class:`ValueError` naming it
+        (and a bad ``kind`` raises with the known kinds), so a typo'd
+        plan fails at parse time, not deep inside a run.
+        """
         payload = dict(data)
-        kind = FaultKind(payload.pop("kind"))
+        if "kind" not in payload:
+            raise ValueError(f"fault spec has no 'kind': {data!r}")
+        if "time" not in payload:
+            raise ValueError(f"fault spec has no 'time': {data!r}")
+        raw_kind = payload.pop("kind")
+        try:
+            kind = FaultKind(raw_kind)
+        except ValueError:
+            known = ", ".join(k.value for k in FaultKind)
+            raise ValueError(
+                f"unknown fault kind {raw_kind!r}; known kinds: {known}"
+            ) from None
         time = float(payload.pop("time"))
+        unknown = sorted(set(payload) - set(FaultSpec.OPTIONAL_FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown fault field(s) {unknown} for kind "
+                f"{kind.value!r}; known fields: "
+                f"{', '.join(FaultSpec.OPTIONAL_FIELDS)}"
+            )
         return FaultSpec(kind=kind, time=time, **payload)
 
 
@@ -285,6 +328,51 @@ class FaultPlan:
             backend=backend,
         ))
 
+    def provision_fail(
+        self, time: float, *, duration: float = 60.0
+    ) -> "FaultPlan":
+        """Provision attempts completing in the window fail (then retry
+        with capped exponential backoff, up to the provisioner's
+        ``max_retries``)."""
+        return self.add(FaultSpec(
+            FaultKind.PROVISION_FAIL, time, duration=duration,
+        ))
+
+    def provision_stall(
+        self, time: float, *, duration: float = 60.0, stall: float = 30.0
+    ) -> "FaultPlan":
+        """Provision attempts completing in the window hang ``stall``
+        extra seconds (the per-request timeout still applies)."""
+        return self.add(FaultSpec(
+            FaultKind.PROVISION_STALL, time, duration=duration, stall=stall,
+        ))
+
+    def spot_reclaim(
+        self,
+        time: float,
+        node: str,
+        *,
+        notice: float = 120.0,
+        requeue: bool = True,
+    ) -> "FaultPlan":
+        """Spot-reclaim a node: ``notice`` seconds out of dispatch with
+        sessions running, then capacity loss with graceful drain —
+        survivors requeue (``requeue=True``) or dead-letter with the
+        explicit ``"reclaim"`` reason.  Never a silent loss."""
+        return self.add(FaultSpec(
+            FaultKind.SPOT_RECLAIM, time, node=node, notice=notice,
+            requeue=requeue,
+        ))
+
+    def warm_pool_exhaust(
+        self, time: float, *, duration: float = 120.0
+    ) -> "FaultPlan":
+        """The platform withdraws every ready standby and refuses warm
+        refills for ``duration`` seconds (a capacity crunch)."""
+        return self.add(FaultSpec(
+            FaultKind.WARM_POOL_EXHAUST, time, duration=duration,
+        ))
+
     # ------------------------------------------------------------------
     def scheduled(self) -> Tuple[FaultSpec, ...]:
         """The faults in deterministic replay order (time, then kind)."""
@@ -318,3 +406,40 @@ class FaultPlan:
             seed=int(data.get("seed", 0)),
             faults=[FaultSpec.from_dict(f) for f in data.get("faults", [])],
         )
+
+
+def validate_plan_payload(data: object) -> List[str]:
+    """Check a decoded fault-plan payload without running anything.
+
+    Returns every problem found (empty = valid), each prefixed with its
+    location (``faults[3]: …``), so ``cocg chaos --validate`` can report
+    a typo'd plan in one pass instead of failing deep inside a run on
+    the first bad entry.
+    """
+    errors: List[str] = []
+    if not isinstance(data, dict):
+        return [f"plan must be a JSON object, got {type(data).__name__}"]
+    unknown_top = sorted(set(data) - {"seed", "faults"})
+    if unknown_top:
+        errors.append(
+            f"unknown top-level key(s) {unknown_top}; expected 'seed', 'faults'"
+        )
+    seed = data.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        errors.append(f"seed must be an integer, got {seed!r}")
+    faults = data.get("faults", [])
+    if not isinstance(faults, list):
+        return errors + [
+            f"faults must be a list, got {type(faults).__name__}"
+        ]
+    for i, entry in enumerate(faults):
+        if not isinstance(entry, dict):
+            errors.append(
+                f"faults[{i}]: must be an object, got {type(entry).__name__}"
+            )
+            continue
+        try:
+            FaultSpec.from_dict(entry)
+        except (ValueError, TypeError) as exc:
+            errors.append(f"faults[{i}]: {exc}")
+    return errors

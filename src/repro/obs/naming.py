@@ -38,9 +38,13 @@ __all__ = [
     "ALGO1_EVALUATIONS",
     "SCHED_DECISIONS",
     "SCHED_DEGRADED_TRANSITIONS",
+    "GATEWAY_BACKPRESSURE",
     # cluster
     "CLUSTER_DISPATCH",
     "CLUSTER_PUMP_ROUNDS",
+    "CLUSTER_LIFECYCLE",
+    "PROVISION_LATENCY",
+    "PROVISION_EVENTS",
     # faults
     "FAULTS_INJECTED",
     # qos
@@ -50,8 +54,10 @@ __all__ = [
     "STREAM_CLUSTER",
     "STREAM_FAULTS",
     "node_stream",
+    "lifecycle_span",
     # histogram buckets
     "WAIT_BUCKETS",
+    "PROVISION_BUCKETS",
 ]
 
 _METRIC_NAME = re.compile(r"^[a-z][a-z0-9]*(_[a-z0-9]+)*$")
@@ -96,6 +102,9 @@ SLO_OUTCOMES = "serve_slo_outcomes_total"
 #: Micro-batcher events; label ``event`` ∈ rounds/evaluations/
 #: prescreen_rejects/admissions/fallback_probes.
 BATCHER_EVENTS = "serve_batcher_events_total"
+#: Requests shed early because usable fleet capacity sat below the
+#: configured floor (the capacity-coupled backpressure path).
+GATEWAY_BACKPRESSURE = "serve_gateway_backpressure_sheds_total"
 
 #: Fixed time-in-queue buckets (seconds).  Fixed — never derived from
 #: observed data — so two runs bucket identically by construction.
@@ -123,6 +132,18 @@ SCHED_DEGRADED_TRANSITIONS = "cocg_degraded_transitions_total"
 CLUSTER_DISPATCH = "cluster_dispatch_total"
 #: Retry-queue pump rounds (the non-gateway path).
 CLUSTER_PUMP_ROUNDS = "cluster_pump_rounds_total"
+#: Node lifecycle transitions; label ``state`` ∈ warming/up/draining/
+#: reclaim-notice → ``reclaim_notice``/down (the resulting state).
+CLUSTER_LIFECYCLE = "cluster_lifecycle_transitions_total"
+#: Request-to-UP provisioning latency histogram (seconds).
+PROVISION_LATENCY = "cluster_provision_latency_seconds"
+#: Provisioner events; label ``event`` ∈ requested/provisioned/retried/
+#: failed/timed_out/warm_promoted/warm_refill/exhausted.
+PROVISION_EVENTS = "cluster_provision_events_total"
+
+#: Fixed provision-latency buckets (seconds).  Fixed — never derived
+#: from observed data — so two runs bucket identically by construction.
+PROVISION_BUCKETS = (5.0, 10.0, 20.0, 30.0, 45.0, 60.0, 90.0, 120.0, 300.0)
 
 # ----------------------------------------------------------------------
 # faults/ — the injector
@@ -150,3 +171,14 @@ STREAM_FAULTS = "faults"
 def node_stream(node_id: str) -> str:
     """The span stream of one fleet node's control loop."""
     return f"node:{node_id}"
+
+
+def lifecycle_span(node_id: str) -> str:
+    """The span name of one node's lifecycle phases.
+
+    Each phase (``provisioning``, ``warming``, ``reclaim-notice``) is
+    recorded as a ``node.<id>.lifecycle`` span on the ``cluster`` stream
+    with a ``state`` argument, so Perfetto shows a node's life as
+    adjacent windows.
+    """
+    return f"node.{node_id}.lifecycle"

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Deque, Dict, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.naming import (
+    GATEWAY_BACKPRESSURE,
     GATEWAY_DEFERRALS,
     GATEWAY_OUTCOMES,
     GATEWAY_QUEUE_DEPTH,
@@ -123,6 +124,13 @@ class GatewayConfig:
     micro_batching:
         Share Algorithm-1 passes per node per round (default).  Off =
         naive per-request dispatch; identical outcomes, more rollouts.
+    capacity_floor:
+        Capacity-coupled backpressure (0 = off, the default).  When the
+        cluster's usable capacity — UP nodes over its capacity target —
+        falls below this fraction, the per-category queue bound shrinks
+        proportionally (``capacity · usable/floor``, never below 1), so
+        the gateway sheds *earlier* while nodes are down or still
+        warming, and releases as soon as warm standbys are promoted.
     """
 
     queue_capacity: int = 256
@@ -131,6 +139,7 @@ class GatewayConfig:
     max_queue_seconds: float = 300.0
     max_retries: int = 25
     micro_batching: bool = True
+    capacity_floor: float = 0.0
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -144,6 +153,10 @@ class GatewayConfig:
         if self.max_retries < 0:
             raise ValueError(
                 f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if not 0.0 <= self.capacity_floor <= 1.0:
+            raise ValueError(
+                f"capacity_floor must be in [0, 1], got {self.capacity_floor}"
             )
 
 
@@ -246,6 +259,10 @@ class AdmissionGateway:
             GATEWAY_THROTTLED_ROUNDS,
             "Pump rounds that ran out of tokens with work still queued.",
         )
+        self._c_backpressure = registry.counter(
+            GATEWAY_BACKPRESSURE,
+            "Requests shed early because usable capacity sat below the floor.",
+        )
         self._g_depth = registry.gauge(
             GATEWAY_QUEUE_DEPTH,
             "Requests currently queued, per category.",
@@ -292,6 +309,11 @@ class AdmissionGateway:
         """Pump rounds that ran out of tokens with work still queued."""
         return int(self._c_throttled.value)
 
+    @property
+    def backpressure_sheds(self) -> int:
+        """Sheds caused by the capacity floor, not a genuinely full queue."""
+        return int(self._c_backpressure.value)
+
     # ------------------------------------------------------------------
     @property
     def depth(self) -> int:
@@ -301,6 +323,35 @@ class AdmissionGateway:
     def depth_of(self, category: str) -> int:
         """Queued requests of one category."""
         return len(self._queues.get(category, ()))
+
+    def has_pending(self, request_id: int) -> bool:
+        """Whether a request with this id is queued in any category.
+
+        The cluster's requeue path consults this to keep a session from
+        being requeued twice when a drain and an active retry backoff
+        race (the double-requeue guard).
+        """
+        return any(
+            entry.request.request_id == request_id
+            for q in self._queues.values()
+            for entry in q
+        )
+
+    def effective_capacity(self) -> int:
+        """Per-category queue bound after capacity-coupled backpressure.
+
+        With ``capacity_floor`` unset this is ``queue_capacity``.  With
+        a floor, the bound shrinks in proportion to how far the fleet's
+        usable capacity sits below it — shedding earlier while nodes are
+        down/warming, releasing the moment standbys are promoted.
+        """
+        floor = self.config.capacity_floor
+        if floor <= 0.0:
+            return self.config.queue_capacity
+        usable = self.scheduler.usable_fraction()
+        if usable >= floor:
+            return self.config.queue_capacity
+        return max(1, int(self.config.queue_capacity * usable / floor))
 
     def _queue_for(self, category: str) -> Deque[QueuedRequest]:
         q = self._queues.get(category)
@@ -325,13 +376,18 @@ class AdmissionGateway:
         """Admit one request into its category queue, or shed it."""
         category = request.spec.category.value
         q = self._queue_for(category)
-        if len(q) >= self.config.queue_capacity:
+        capacity = self.effective_capacity()
+        if len(q) >= capacity:
+            backpressure = capacity < self.config.queue_capacity
+            if backpressure:
+                self._c_backpressure.inc(time=time)
             self._c_shed.inc(time=time)
             self.slo.record(category, "shed", 0.0, time=time)
+            detail = "capacity floor" if backpressure else "queue full"
             self.telemetry.record_gateway_event(
-                time, "shed", category, f"r{request.request_id}"
+                time, "shed", category, f"r{request.request_id}: {detail}"
             )
-            return AdmissionOutcome("shed", category, "queue full")
+            return AdmissionOutcome("shed", category, detail)
         q.append(
             QueuedRequest(
                 request,
@@ -475,6 +531,7 @@ class AdmissionGateway:
             "deferrals": self.deferrals,
             "depth": self.depth,
             "throttled_rounds": self.throttled_rounds,
+            "backpressure_sheds": self.backpressure_sheds,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -54,6 +54,23 @@ class TestParser:
         args = build_parser().parse_args(["chaos", "contra"])
         assert args.nodes == 2 and args.plan is None
         assert args.policy == "round-robin"
+        assert not args.validate
+        assert args.scenario == "default" and args.warm_pool is None
+
+    def test_chaos_validate_needs_no_games(self):
+        args = build_parser().parse_args(
+            ["chaos", "--validate", "--plan", "plan.json"]
+        )
+        assert args.validate and args.games == []
+
+    def test_chaos_scenario_and_warm_pool(self):
+        args = build_parser().parse_args(
+            ["chaos", "contra", "--scenario", "reclaim-storm",
+             "--warm-pool", "2"]
+        )
+        assert args.scenario == "reclaim-storm" and args.warm_pool == 2
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "contra", "--scenario", "bad"])
 
 
 class TestCommands:
@@ -138,3 +155,67 @@ class TestCommands:
         assert "loaded fault plan" in out
         assert "fault-free" in out and "faulted" in out
         assert "telemetry digest" in out
+
+    def test_chaos_validate_ok(self, capsys, tmp_path):
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(json.dumps({
+            "seed": 3,
+            "faults": [
+                {"kind": "spot-reclaim", "time": 60.0, "node": "node-0",
+                 "notice": 30.0},
+                {"kind": "provision-fail", "time": 10.0, "duration": 45.0},
+            ],
+        }))
+        code = main(["chaos", "--validate", "--plan", str(plan_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ok (2 faults, seed 3)" in out
+
+    def test_chaos_validate_reports_problems(self, capsys, tmp_path):
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(json.dumps({
+            "seed": 3,
+            "faults": [{"kind": "spot-reclaim", "time": 60.0, "grace": 1.0}],
+        }))
+        code = main(["chaos", "--validate", "--plan", str(plan_file)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "faults[0]" in out and "grace" in out
+
+    def test_chaos_validate_rejects_bad_json(self, capsys, tmp_path):
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text("{not json")
+        assert main(["chaos", "--validate", "--plan", str(plan_file)]) == 1
+
+    def test_chaos_validate_requires_plan(self, capsys):
+        assert main(["chaos", "--validate"]) == 2
+
+    def test_chaos_games_required_without_validate(self, capsys):
+        assert main(["chaos"]) == 2
+
+    def test_chaos_bad_plan_points_at_validate(self, capsys, tmp_path):
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(json.dumps({"seed": 3, "faults": [
+            {"kind": "meteor-strike", "time": 1.0},
+        ]}))
+        code = main(["chaos", "contra", "--plan", str(plan_file)])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "--validate" in out
+
+    def test_chaos_reclaim_storm_scenario(self, capsys, tmp_path):
+        main([
+            "profile", "contra", "-o", str(tmp_path / "contra.profile.json"),
+            "--players", "3", "--sessions", "3", "--seed", "1",
+        ])
+        capsys.readouterr()
+        code = main([
+            "chaos", "contra", "--nodes", "2", "--horizon", "400",
+            "--scenario", "reclaim-storm", "--warm-pool", "1",
+            "--profiles-dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reclaim-storm" in out
+        assert "(unaccounted: 0)" in out
+        assert "WARNING" not in out

@@ -1,5 +1,7 @@
 """Tests for ``repro.faults``: injection, degradation, deterministic replay."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -17,6 +19,7 @@ from repro.faults import (
     FaultPlan,
     FaultSpec,
     PredictorHealth,
+    validate_plan_payload,
 )
 from repro.games.player import PlayerModel
 from repro.games.session import GameSession
@@ -171,6 +174,83 @@ class TestFaultPlan:
             FaultPlan().telemetry_dropout(0.0, rate=1.5)
         with pytest.raises(ValueError):
             FaultSpec(FaultKind.NODE_CRASH, 0.0, recover_after=0.0)
+
+
+class TestProvisioningFaultSerialization:
+    """Round trips and strict parsing for the lifecycle fault kinds."""
+
+    def plan(self):
+        return (
+            FaultPlan(seed=7)
+            .provision_fail(30.0, duration=45.0)
+            .provision_stall(60.0, duration=30.0, stall=20.0)
+            .spot_reclaim(120.0, "n0", notice=90.0, requeue=False)
+            .warm_pool_exhaust(150.0, duration=75.0)
+        )
+
+    def test_round_trip_preserves_new_kinds(self):
+        plan = self.plan()
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.faults == plan.faults
+        reclaim = clone.faults[2]
+        assert reclaim.kind is FaultKind.SPOT_RECLAIM
+        assert reclaim.notice == 90.0
+        assert reclaim.requeue is False
+
+    def test_defaults_are_elided(self):
+        spec = FaultPlan().spot_reclaim(10.0, "n0").faults[0]
+        payload = spec.to_dict()
+        assert "notice" not in payload  # default 120.0 elided
+        assert "stall" not in payload
+        assert "requeue" not in payload
+        stall = FaultPlan().provision_stall(10.0).faults[0]
+        assert "stall" not in stall.to_dict()  # default 30.0 elided
+
+    def test_serialization_is_byte_stable(self):
+        a = json.dumps(self.plan().to_dict(), sort_keys=True)
+        b = json.dumps(self.plan().to_dict(), sort_keys=True)
+        assert a == b
+        c = json.dumps(
+            FaultPlan.from_dict(self.plan().to_dict()).to_dict(),
+            sort_keys=True,
+        )
+        assert a == c
+
+    def test_unknown_key_rejected_by_name(self):
+        payload = self.plan().to_dict()
+        payload["faults"][0]["grace"] = 5.0
+        with pytest.raises(ValueError, match="grace"):
+            FaultPlan.from_dict(payload)
+
+    def test_unknown_kind_rejected_with_known_list(self):
+        with pytest.raises(ValueError, match="spot-reclaim"):
+            FaultSpec.from_dict({"kind": "meteor-strike", "time": 1.0})
+
+    def test_validate_plan_payload_accepts_good_plans(self):
+        assert validate_plan_payload(self.plan().to_dict()) == []
+
+    def test_validate_plan_payload_reports_each_problem(self):
+        problems = validate_plan_payload(
+            {
+                "seed": "eleven",
+                "faults": [
+                    {"kind": "meteor-strike", "time": 1.0},
+                    {"kind": "spot-reclaim", "time": 2.0, "grace": 1.0},
+                    {"kind": "node-crash"},
+                ],
+                "extra": True,
+            }
+        )
+        assert len(problems) == 5
+        assert any("extra" in p for p in problems)
+        assert any("seed" in p for p in problems)
+        assert any(p.startswith("faults[0]:") for p in problems)
+        assert any("grace" in p for p in problems)
+        assert any("time" in p for p in problems)
+
+    def test_validate_plan_payload_requires_a_mapping(self):
+        assert validate_plan_payload([1, 2]) != []
+        assert validate_plan_payload({"seed": 1, "faults": "nope"}) != []
 
 
 # ----------------------------------------------------------------------

@@ -250,7 +250,7 @@ class TestAdmissionGateway:
         stats = gateway.stats()
         assert set(stats) == {
             "queued", "admitted", "shed", "dead_lettered", "deferrals",
-            "depth", "throttled_rounds",
+            "depth", "throttled_rounds", "backpressure_sheds",
         }
 
     def test_config_validation(self):
