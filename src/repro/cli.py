@@ -20,10 +20,22 @@ Four subcommands cover the operator workflow the paper describes:
   ``metrics.prom`` + ``trace.json`` (``docs/OBSERVABILITY.md``);
   ``--check-determinism`` runs twice and verifies the artifacts are
   byte-identical;
+* ``cocg record GAME [GAME …] -o FILE`` — run a gateway-fronted fleet
+  experiment with a trace recorder attached and persist the run as a
+  versioned ``.cgtrace`` file (``docs/TRACE.md``);
+* ``cocg replay TRACE`` — rebuild the fleet from a trace's header and
+  replay its recorded workload; non-zero exit unless the replayed fleet
+  telemetry digest matches the recorded one byte-for-byte;
+* ``cocg corpus list|generate`` — list the shipped workload scenarios or
+  regenerate their ``.cgtrace`` files under ``corpus/``;
 * ``cocg lint [PATH …]`` — run the CoCG invariant checker
   (:mod:`repro.lint`, per-file rules CG001–CG009 plus the
   whole-program rules CG010–CG014 and the effect system
   CG015–CG018) over the codebase.
+
+Diagnostics (bad plans, unknown games/scenarios, digest mismatches) go
+to stderr; stdout carries only the requested report, so piping
+``cocg … | tee`` captures clean output.
 
 Run ``python -m repro.cli --help`` (or the installed ``cocg`` script).
 """
@@ -46,10 +58,18 @@ __all__ = [
     "cmd_serve",
     "cmd_chaos",
     "cmd_obs",
+    "cmd_record",
+    "cmd_replay",
+    "cmd_corpus",
     "cmd_lint",
 ]
 
 _STRATEGIES = ("cocg", "reactive", "gaugur", "vbp", "max-static")
+
+
+def _err(message: str) -> None:
+    """Print an error diagnostic to stderr (stdout stays report-only)."""
+    print(message, file=sys.stderr)
 
 
 def _make_strategy(name: str):
@@ -313,25 +333,25 @@ def cmd_chaos(args) -> int:
 
     if args.validate:
         if not args.plan:
-            print("--validate needs --plan <plan.json>")
+            _err("--validate needs --plan <plan.json>")
             return 2
         try:
             payload = json.loads(Path(args.plan).read_text())
         except (OSError, json.JSONDecodeError) as exc:
-            print(f"{args.plan}: cannot read plan: {exc}")
+            _err(f"{args.plan}: cannot read plan: {exc}")
             return 1
         errors = validate_plan_payload(payload)
         if errors:
-            print(f"{args.plan}: {len(errors)} problem(s)")
+            _err(f"{args.plan}: {len(errors)} problem(s)")
             for error in errors:
-                print(f"  {error}")
+                _err(f"  {error}")
             return 1
         plan = FaultPlan.from_dict(payload)
         print(f"{args.plan}: ok ({len(plan)} faults, seed {plan.seed})")
         return 0
 
     if not args.games:
-        print("at least one GAME is required (unless --validate)")
+        _err("at least one GAME is required (unless --validate)")
         return 2
 
     catalog = build_catalog()
@@ -340,9 +360,9 @@ def cmd_chaos(args) -> int:
         try:
             plan = FaultPlan.from_dict(json.loads(Path(args.plan).read_text()))
         except (OSError, json.JSONDecodeError, ValueError) as exc:
-            print(f"{args.plan}: bad fault plan: {exc}")
-            print("hint: cocg chaos --validate --plan "
-                  f"{args.plan} lists every problem")
+            _err(f"{args.plan}: bad fault plan: {exc}")
+            _err("hint: cocg chaos --validate --plan "
+                 f"{args.plan} lists every problem")
             return 2
         print(f"loaded fault plan: {args.plan} ({len(plan)} faults)")
     elif args.scenario == "reclaim-storm":
@@ -408,7 +428,7 @@ def cmd_chaos(args) -> int:
         print(f"observability (faulted run): {metrics_path} + {trace_path} "
               f"(trace digest {obs.trace_digest()[:16]}…)")
     if report.faulted.unaccounted_sessions:
-        print(
+        _err(
             f"WARNING: {report.faulted.unaccounted_sessions} unaccounted "
             "sessions — the robustness ledger does not balance"
         )
@@ -485,6 +505,130 @@ def cmd_obs(args) -> int:
     print(f"trace digest:       {obs.trace_digest()}")
     print(f"wrote:              {metrics_path}")
     print(f"wrote:              {trace_path}")
+    return 0
+
+
+def cmd_record(args) -> int:
+    """``cocg record``: run one experiment and persist it as a trace.
+
+    The run is gateway-fronted (same shape as ``cocg serve``); an
+    optional ``--plan`` injects a fault schedule and ``--warm-pool N``
+    attaches a capacity plane — both are captured in the trace, so
+    ``cocg replay`` reproduces the whole run.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.faults import FaultPlan
+    from repro.trace import RunConfig, record_run
+
+    plan = None
+    if args.plan:
+        try:
+            plan = FaultPlan.from_dict(
+                json.loads(Path(args.plan).read_text())
+            )
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            _err(f"{args.plan}: bad fault plan: {exc}")
+            _err("hint: cocg chaos --validate --plan "
+                 f"{args.plan} lists every problem")
+            return 2
+    try:
+        config = RunConfig(
+            games=tuple(args.games),
+            nodes=args.nodes,
+            policy=args.policy,
+            strategy=args.strategy,
+            horizon=args.horizon,
+            rate_per_minute=args.rate,
+            seed=args.seed,
+            players=args.players,
+            sessions=args.sessions,
+            queue_capacity=args.queue_capacity,
+            rate_limit=args.rate_limit,
+            burst=args.burst,
+            max_queue_seconds=args.max_queue_seconds,
+            warm_pool=args.warm_pool,
+        )
+        result, recorder = record_run(config, plan=plan)
+    except ValueError as exc:
+        _err(str(exc))
+        return 2
+    path = recorder.save(args.output)
+    stats = recorder.stats()
+    document = recorder.document
+    print(f"recorded {args.horizon}s over {args.nodes} nodes: "
+          f"{stats['arrivals']} arrivals, {stats['stages']} stage records, "
+          f"{stats['faults']} scheduled faults")
+    print(f"throughput (Eq 2):  {result.throughput:,.0f} game-seconds")
+    print(f"completed runs:     {result.completed_runs}")
+    print(f"fleet digest:       {document.trailer.fleet_digest}")
+    print(f"wrote:              {path}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """``cocg replay``: replay a trace, check the digest contract.
+
+    Exit 0 when the replayed fleet telemetry digest matches the trace's
+    trailer byte-for-byte, 1 on divergence (the first divergent record
+    is named on stderr), 2 when the trace itself cannot be parsed.
+    """
+    from repro.trace import TraceError, replay_path
+
+    try:
+        report = replay_path(args.trace, strict=False)
+    except (OSError, TraceError, ValueError) as exc:
+        _err(f"{args.trace}: {exc}")
+        return 2
+    for line in report.summary_lines():
+        print(line)
+    if not report.matched:
+        _err(f"{args.trace}: replay diverged from the recorded run"
+             + (f" at {report.divergence}" if report.divergence else ""))
+        return 1
+    return 0
+
+
+def cmd_corpus(args) -> int:
+    """``cocg corpus``: list or regenerate the shipped scenario corpus.
+
+    ``list`` prints the catalogue; ``generate [NAME …]`` re-records the
+    named scenarios (default: all) under ``--out``.  Generation is
+    deterministic — the same repo state always produces byte-identical
+    ``.cgtrace`` files, which is how CI keeps ``corpus/`` honest.
+    """
+    from pathlib import Path
+
+    from repro.trace import SCENARIOS, generate_scenario, scenario_names
+
+    if args.action == "list":
+        print(f"{'scenario':14} {'games':18} {'horizon':>7} {'faults':>6}  description")
+        print("-" * 78)
+        for name in scenario_names():
+            spec = SCENARIOS[name]
+            plan = spec.plan()
+            print(
+                f"{name:14} {','.join(spec.config.games):18} "
+                f"{spec.config.horizon:>6}s {len(plan) if plan else 0:>6}  "
+                f"{spec.description}"
+            )
+        return 0
+
+    names = list(args.names) or scenario_names()
+    unknown = sorted(set(names) - set(scenario_names()))
+    if unknown:
+        _err(f"unknown scenario(s) {', '.join(unknown)}; shipped: "
+             f"{', '.join(scenario_names())}")
+        return 2
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        result, recorder = generate_scenario(name)
+        path = recorder.save(out / f"{name}.cgtrace")
+        document = recorder.document
+        print(f"{name}: {document.trailer.records} records, "
+              f"digest {document.trailer.fleet_digest[:16]}… -> {path}")
     return 0
 
 
@@ -625,6 +769,49 @@ def build_parser() -> argparse.ArgumentParser:
     o.add_argument("--sessions", type=int, default=3)
     o.add_argument("--profiles-dir", help="cache profiles here")
     o.set_defaults(func=cmd_obs)
+
+    r = sub.add_parser(
+        "record",
+        help="record a gateway-fronted run as a .cgtrace file",
+    )
+    r.add_argument("games", nargs="+")
+    r.add_argument("-o", "--output", default="run.cgtrace",
+                   help="trace file to write (default: run.cgtrace)")
+    r.add_argument("--nodes", type=int, default=2)
+    r.add_argument("--policy", choices=("first-fit", "best-fit", "round-robin"),
+                   default="round-robin")
+    r.add_argument("--strategy", choices=_STRATEGIES, default="cocg")
+    r.add_argument("--rate", type=float, default=2.0, help="arrivals per minute")
+    r.add_argument("--horizon", type=int, default=600)
+    r.add_argument("--seed", type=int, default=0)
+    r.add_argument("--plan", help="fault-plan JSON to inject and record")
+    r.add_argument("--warm-pool", type=int, default=None, metavar="N",
+                   help="attach a Provisioner with N pre-booted standbys")
+    r.add_argument("--queue-capacity", type=int, default=64)
+    r.add_argument("--rate-limit", type=float, default=4.0)
+    r.add_argument("--burst", type=int, default=8)
+    r.add_argument("--max-queue-seconds", type=float, default=300.0)
+    r.add_argument("--players", type=int, default=3,
+                   help="profile-corpus players (captured in the trace)")
+    r.add_argument("--sessions", type=int, default=2)
+    r.set_defaults(func=cmd_record)
+
+    rp = sub.add_parser(
+        "replay",
+        help="replay a .cgtrace; fail unless the fleet digest matches",
+    )
+    rp.add_argument("trace", help="the .cgtrace file to replay")
+    rp.set_defaults(func=cmd_replay)
+
+    co = sub.add_parser(
+        "corpus", help="list or regenerate the shipped scenario corpus"
+    )
+    co.add_argument("action", choices=("list", "generate"))
+    co.add_argument("names", nargs="*",
+                    help="scenarios to generate (default: all)")
+    co.add_argument("--out", default="corpus", metavar="DIR",
+                    help="output directory (default: corpus/)")
+    co.set_defaults(func=cmd_corpus)
 
     from repro.lint.__main__ import configure_parser as _configure_lint_parser
 

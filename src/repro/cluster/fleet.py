@@ -46,6 +46,7 @@ from repro.workloads.requests import GameRequest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serve imports cluster)
     from repro.serve.gateway import AdmissionGateway, AdmissionOutcome
+    from repro.trace.recorder import TraceRecorder
 
 __all__ = [
     "NodeHealth",
@@ -169,6 +170,7 @@ class FleetNode:
         self.completed: Dict[str, int] = {}
         self.health = NodeHealth.UP
         self.obs: Optional[Observer] = None
+        self.trace: Optional["TraceRecorder"] = None
         self._c_lifecycle = None
 
     # ------------------------------------------------------------------
@@ -196,6 +198,10 @@ class FleetNode:
                 distributor, "attach_observer"
             ):
                 distributor.attach_observer(obs)
+
+    def attach_trace(self, trace: "TraceRecorder") -> None:
+        """Record this node's session stage timeline into a trace."""
+        self.trace = trace
 
     # ------------------------------------------------------------------
     def try_admit(
@@ -247,6 +253,14 @@ class FleetNode:
             )
             if sid in degraded:
                 self.qos.note_degraded(sid)
+            if tick.stage_completed and self.trace is not None:
+                # The session just appended (stage, start, end) — in
+                # session-elapsed seconds — to its history.
+                stage_name, start, end = session.history[-1]
+                self.trace.record_stage(
+                    t, sid, stage_name, start=float(start), end=float(end),
+                    node=self.node_id,
+                )
             if tick.finished:
                 self.strategy.release(sid, time=t)
                 self.completed[session.spec.name] = (
@@ -465,6 +479,7 @@ class ClusterScheduler:
         #: ``target_up``.
         self.capacity_target = len(self.nodes)
         self.obs: Optional[Observer] = None
+        self.trace: Optional["TraceRecorder"] = None
         self._c_dispatched = None
         self._c_deferred = None
         self._c_pump_rounds = None
@@ -493,6 +508,20 @@ class ClusterScheduler:
         for node in self.nodes:
             node.attach_observer(obs)
 
+    def attach_trace(self, trace: "TraceRecorder") -> None:
+        """Wire the fleet into a trace recorder (the ``trace=`` handle).
+
+        Forwards to every node (session stage timelines) and, when a
+        gateway is already attached without its own recorder, to the
+        gateway (admission verdicts).  Nodes added later inherit the
+        recorder through :meth:`add_node`.
+        """
+        self.trace = trace
+        for node in self.nodes:
+            node.attach_trace(trace)
+        if self.gateway is not None and self.gateway.trace is None:
+            self.gateway.trace = trace
+
     def note_dispatch(self, outcome: str, *, time: float) -> None:
         """Count one dispatch attempt (``dispatched`` or ``deferred``).
 
@@ -519,6 +548,8 @@ class ClusterScheduler:
         by the retry queue.  Detach by setting :attr:`gateway` to None.
         """
         self.gateway = gateway
+        if self.trace is not None and gateway.trace is None:
+            gateway.trace = self.trace
 
     def add_node(self, node: FleetNode) -> None:
         """Grow the fleet by one node (a provisioned/warm standby).
@@ -533,19 +564,28 @@ class ClusterScheduler:
         self.nodes.append(node)
         if self.obs is not None:
             node.attach_observer(self.obs)
+        if self.trace is not None:
+            node.attach_trace(self.trace)
 
     def node(self, node_id: str) -> FleetNode:
         """Look a node up by id.
 
         The error message lists every known node *with its lifecycle
-        state*, so a miss during an elastic run shows at a glance
-        whether the node was reclaimed, still warming, or never existed.
+        state* — sorted by id, and including the provisioner's in-flight
+        request-phase entries (``requested``/``provisioning``), which
+        precede the node object itself — so a miss during an elastic run
+        shows at a glance whether the node was reclaimed, still booting,
+        or never existed.
         """
         for node in self.nodes:
             if node.node_id == node_id:
                 return node
+        states = {n.node_id: n.health.value for n in self.nodes}
+        if self.provisioner is not None:
+            for nid, state in self.provisioner.pending_states().items():
+                states.setdefault(nid, state)
         known = ", ".join(
-            f"{n.node_id}={n.health.value}" for n in self.nodes
+            f"{nid}={state}" for nid, state in sorted(states.items())
         )
         raise KeyError(f"no node {node_id!r}; known nodes: {{{known}}}")
 

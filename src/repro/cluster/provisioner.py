@@ -520,6 +520,16 @@ class Provisioner:
         return True
 
     # ------------------------------------------------------------------
+    def pending_states(self) -> Dict[str, str]:
+        """Lifecycle state of every in-flight provision request.
+
+        These node ids precede their :class:`FleetNode` objects (the
+        request phase), so they never appear in the cluster's node list;
+        :meth:`ClusterScheduler.node` merges them into its KeyError
+        listing so a miss on a still-booting node is diagnosable.
+        """
+        return {req.node_id: "provisioning" for req in self._pending}
+
     @property
     def pending_count(self) -> int:
         """Provision requests currently in flight."""

@@ -362,12 +362,12 @@ LAYERS: Dict[str, int] = {
     "sim": 3, "games": 3,
     "core": 4,
     "baselines": 5, "workloads": 5, "analysis": 5,
-    "cluster": 6, "faults": 6, "serve": 6,
+    "cluster": 6, "faults": 6, "serve": 6, "trace": 6,
 }
 
 _DAG_TEXT = (
     "util < obs/mlkit/streaming/lint < platform_ < sim/games < core "
-    "< baselines/workloads/analysis < cluster/faults/serve"
+    "< baselines/workloads/analysis < cluster/faults/serve/trace"
 )
 
 
@@ -385,13 +385,13 @@ class LayeringRule(ProjectRule):
 
     The layering is ``util < obs/mlkit/streaming/lint < platform_ <
     sim/games < core < baselines/workloads/analysis <
-    cluster/faults/serve``: ``sim`` can never import ``serve``, and
-    shard-local code can never reach region-global singletons by
+    cluster/faults/serve/trace``: ``sim`` can never import ``serve``,
+    and shard-local code can never reach region-global singletons by
     importing upward.  ``obs`` sits low on purpose — observability must
     never import the packages it observes (hooks are injected downward),
     which is what keeps a shard's metrics registry free of back-edges.
-    Same-layer imports are allowed (``cluster``/``faults``/``serve`` are
-    interdependent by design); imports under ``if TYPE_CHECKING:`` are
+    Same-layer imports are allowed (``cluster``/``faults``/``serve``/
+    ``trace`` are interdependent by design); imports under ``if TYPE_CHECKING:`` are
     erased at runtime and exempt; root modules (``cli`` — the
     composition root) may import anything.
 

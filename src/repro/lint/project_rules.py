@@ -54,10 +54,10 @@ ORDER_SINKS = frozenset({
 })
 
 #: Subpackages whose behaviour is replay-checked byte-for-byte.
-DETERMINISM_PACKAGES = ("serve", "cluster", "sim", "faults")
+DETERMINISM_PACKAGES = ("serve", "cluster", "sim", "faults", "trace")
 
 #: Packages whose event dataclasses must reach the fleet digest.
-EVENT_PACKAGES = ("serve", "faults", "sim")
+EVENT_PACKAGES = ("serve", "faults", "sim", "trace")
 
 
 def _is_rng_module(module: str) -> bool:

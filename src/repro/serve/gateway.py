@@ -54,6 +54,7 @@ from repro.workloads.requests import GameRequest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.fleet import ClusterScheduler, FleetNode
+    from repro.trace.recorder import TraceRecorder
 
 __all__ = [
     "TokenBucket",
@@ -215,6 +216,12 @@ class AdmissionGateway:
         ``None`` the counters back onto a private registry (so the
         ``queued``/``shed``/… views keep working) and no spans are
         recorded.
+    trace:
+        Optional :class:`~repro.trace.TraceRecorder` (the nullable
+        ``trace=`` handle).  Every admission verdict — ``queued``,
+        ``shed``, ``admitted``, ``dead-lettered`` — is recorded as an
+        instant stage record in the request's timeline, alongside the
+        telemetry event that already feeds the fleet digest.
 
     The historical plain-int counters (``queued``, ``shed``,
     ``admitted``, ``dead_lettered``, ``deferrals``,
@@ -229,6 +236,7 @@ class AdmissionGateway:
         config: Optional[GatewayConfig] = None,
         telemetry: Optional[TelemetryRecorder] = None,
         obs: Optional[Observer] = None,
+        trace: Optional["TraceRecorder"] = None,
     ):
         self.scheduler = scheduler
         self.config = config if config is not None else GatewayConfig()
@@ -236,6 +244,7 @@ class AdmissionGateway:
             telemetry if telemetry is not None else TelemetryRecorder(noise_std=0.0)
         )
         self.obs = obs
+        self.trace = trace
         registry = obs.registry if obs is not None else MetricsRegistry()
         outcomes = registry.counter(
             GATEWAY_OUTCOMES,
@@ -387,6 +396,8 @@ class AdmissionGateway:
             self.telemetry.record_gateway_event(
                 time, "shed", category, f"r{request.request_id}: {detail}"
             )
+            if self.trace is not None:
+                self.trace.record_verdict(time, request.request_id, "shed")
             return AdmissionOutcome("shed", category, detail)
         q.append(
             QueuedRequest(
@@ -401,6 +412,8 @@ class AdmissionGateway:
         self.telemetry.record_gateway_event(
             time, "queued", category, f"r{request.request_id}"
         )
+        if self.trace is not None:
+            self.trace.record_verdict(time, request.request_id, "queued")
         return AdmissionOutcome("queued", category)
 
     # ------------------------------------------------------------------
@@ -421,6 +434,10 @@ class AdmissionGateway:
             time, "dead-lettered", entry.category,
             f"r{entry.request.request_id}: {reason}",
         )
+        if self.trace is not None:
+            self.trace.record_verdict(
+                time, entry.request.request_id, "dead-lettered"
+            )
 
     def _expire(self, time: float) -> None:
         """Dead-letter requests whose patience ran out."""
@@ -489,6 +506,11 @@ class AdmissionGateway:
                     time, "admitted", entry.category,
                     f"r{entry.request.request_id}@{node.node_id}",
                 )
+                if self.trace is not None:
+                    self.trace.record_verdict(
+                        time, entry.request.request_id, "admitted",
+                        node=node.node_id,
+                    )
                 continue
             self._c_deferrals.inc(time=time)
             entry.attempts += 1

@@ -1,0 +1,287 @@
+"""The shipped scenario corpus: named, regenerable workload traces.
+
+Each :class:`ScenarioSpec` pairs a :class:`~repro.trace.harness.RunConfig`
+with a time-varying arrival-rate envelope, a scripted-player behaviour
+mix, and (optionally) a fault schedule.  :class:`ScenarioArrivals`
+realizes the envelope as a nonhomogeneous Poisson stream via thinning —
+a pure function of the scenario and seed, so ``cocg corpus generate``
+reproduces every shipped ``corpus/*.cgtrace`` byte-for-byte.
+
+The four shipped scenarios cover the workload shapes the paper's
+co-location story is judged on: a launch-day flash crowd, a diurnal
+demand wave, an MMO raid-night with synchronized burst cohorts, and a
+mobile churn storm with mid-session abandons.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.experiment import FleetResult
+from repro.faults.plan import FaultPlan
+from repro.games.catalog import build_catalog
+from repro.games.spec import GameSpec
+from repro.trace.harness import RunConfig, record_run
+from repro.trace.players import get_behaviour, make_player
+from repro.trace.recorder import TraceRecorder
+from repro.util.rng import as_rng, derive_seed
+from repro.workloads.requests import GameRequest
+
+__all__ = [
+    "RateEnvelope",
+    "ScenarioSpec",
+    "ScenarioArrivals",
+    "SCENARIOS",
+    "get_scenario",
+    "scenario_names",
+    "generate_scenario",
+]
+
+
+@dataclass(frozen=True)
+class RateEnvelope:
+    """A piecewise-constant arrival rate (requests per minute).
+
+    ``steps`` maps breakpoint times (seconds, ascending, starting at 0)
+    to the rate that holds from that time until the next breakpoint.
+    """
+
+    steps: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("envelope needs at least one step")
+        times = [t for t, _ in self.steps]
+        if times[0] != 0.0:
+            raise ValueError(f"envelope must start at t=0, got {times[0]}")
+        if times != sorted(times) or len(set(times)) != len(times):
+            raise ValueError(f"envelope breakpoints must ascend: {times}")
+        if any(rate < 0 for _, rate in self.steps):
+            raise ValueError("envelope rates must be >= 0")
+        if max(rate for _, rate in self.steps) <= 0:
+            raise ValueError("envelope must be positive somewhere")
+
+    def rate_at(self, t: float) -> float:
+        """Requests/minute in effect at time ``t``."""
+        idx = bisect.bisect_right([s[0] for s in self.steps], t) - 1
+        return self.steps[max(0, idx)][1]
+
+    @property
+    def peak(self) -> float:
+        """The envelope's maximum rate (the thinning majorant)."""
+        return max(rate for _, rate in self.steps)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named corpus scenario.
+
+    ``mix`` weights scripted-player behaviours (weights need not sum to
+    1; they are normalized).  ``plan_builder``, when set, derives the
+    scenario's fault schedule from its config.
+    """
+
+    name: str
+    description: str
+    config: RunConfig
+    envelope: RateEnvelope
+    mix: Tuple[Tuple[str, float], ...]
+    plan_builder: Optional[Callable[[RunConfig], FaultPlan]] = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.mix:
+            raise ValueError("behaviour mix must be non-empty")
+        for behaviour, weight in self.mix:
+            get_behaviour(behaviour)  # raises on unknown names
+            if weight <= 0:
+                raise ValueError(
+                    f"mix weight for {behaviour!r} must be > 0, got {weight}"
+                )
+
+    def plan(self) -> Optional[FaultPlan]:
+        """The scenario's fault schedule (None when it runs fault-free)."""
+        return (
+            self.plan_builder(self.config)
+            if self.plan_builder is not None
+            else None
+        )
+
+
+class ScenarioArrivals:
+    """Nonhomogeneous Poisson arrivals shaped by a scenario's envelope.
+
+    Thinning (Lewis & Shedler): candidate points are drawn from a
+    homogeneous stream at the envelope's peak rate, then accepted with
+    probability ``rate(t) / peak``.  Every RNG draw happens in a fixed
+    order, so the stream — request ids, scripts, behaviours, players —
+    is a pure function of ``(scenario, seed)``.  Drop-in for the
+    ``arrivals=`` parameter of ``FleetExperiment``.
+    """
+
+    def __init__(self, scenario: ScenarioSpec, specs: List[GameSpec]):
+        if not specs:
+            raise ValueError("specs must be non-empty")
+        config = scenario.config
+        rng = as_rng(
+            derive_seed(config.seed, "scenario", scenario.name)
+        )
+        total = sum(weight for _, weight in scenario.mix)
+        cumulative: List[Tuple[float, str]] = []
+        acc = 0.0
+        for behaviour, weight in scenario.mix:
+            acc += weight / total
+            cumulative.append((acc, behaviour))
+        peak_per_second = scenario.envelope.peak / 60.0
+        self.requests: List[GameRequest] = []
+        t = 0.0
+        i = 0
+        while True:
+            t += rng.exponential(1.0 / peak_per_second)
+            if t >= config.horizon:
+                break
+            if rng.random() >= scenario.envelope.rate_at(t) / scenario.envelope.peak:
+                continue  # thinned out — envelope is below peak here
+            spec = specs[int(rng.integers(len(specs)))]
+            script = spec.scripts[int(rng.integers(len(spec.scripts)))].name
+            draw = rng.random()
+            behaviour = next(
+                name for edge, name in cumulative if draw < edge
+            )
+            player = make_player(
+                f"{scenario.name}-{behaviour}-{i}",
+                spec.category,
+                behaviour,
+                seed=0,
+            )
+            self.requests.append(GameRequest(spec, script, player, t, i))
+            i += 1
+
+    def due(self, t0: float, t1: float) -> List[GameRequest]:
+        """Requests arriving in ``[t0, t1)`` (PoissonArrivals parity)."""
+        return [r for r in self.requests if t0 <= r.arrival < t1]
+
+
+# ---------------------------------------------------------------------------
+# The shipped scenarios
+# ---------------------------------------------------------------------------
+
+def _abandon_storm(config: RunConfig) -> FaultPlan:
+    """Mid-session abandons for the mobile churn scenario: players bail
+    without requeueing, right as each on-peak window ends."""
+    plan = FaultPlan(seed=config.fault_seed)
+    for time in (150.0, 390.0, 510.0):
+        if time < config.horizon:
+            plan.session_kill(time, requeue=False)
+    return plan
+
+
+SCENARIOS: Dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec(
+            name="launch-day",
+            description=(
+                "Flash crowd at a free-to-play launch: a quiet baseline, "
+                "a 10x arrival spike of mostly tourists two minutes in, "
+                "then a slow decay as grinders settle in"
+            ),
+            config=RunConfig(
+                games=("contra",), nodes=3, horizon=600, seed=11
+            ),
+            envelope=RateEnvelope((
+                (0.0, 4.0), (120.0, 40.0), (240.0, 10.0), (360.0, 4.0),
+            )),
+            mix=(("tourist", 0.55), ("grinder", 0.25), ("organic", 0.20)),
+        ),
+        ScenarioSpec(
+            name="diurnal-wave",
+            description=(
+                "A compressed day/night demand cycle over a mixed "
+                "web + MMO catalogue: overnight trickle, morning ramp, "
+                "evening peak, wind-down"
+            ),
+            config=RunConfig(
+                games=("contra", "dota2"), nodes=3, horizon=900, seed=23
+            ),
+            envelope=RateEnvelope((
+                (0.0, 2.0), (180.0, 6.0), (360.0, 12.0),
+                (600.0, 8.0), (780.0, 3.0),
+            )),
+            mix=(
+                ("organic", 0.40), ("grinder", 0.25),
+                ("afk", 0.20), ("tourist", 0.15),
+            ),
+        ),
+        ScenarioSpec(
+            name="raid-night",
+            description=(
+                "MMO raid night: two synchronized raider cohorts hit the "
+                "heavy titles at once, stressing burst headroom and "
+                "co-location interference detection"
+            ),
+            config=RunConfig(
+                games=("csgo", "dota2"), nodes=3, horizon=600, seed=37
+            ),
+            envelope=RateEnvelope((
+                (0.0, 6.0), (180.0, 24.0), (240.0, 6.0),
+                (420.0, 24.0), (480.0, 6.0),
+            )),
+            mix=(("raider", 0.60), ("grinder", 0.30), ("organic", 0.10)),
+        ),
+        ScenarioSpec(
+            name="mobile-burst",
+            description=(
+                "Mobile churn storm: a square-wave of short-session "
+                "arrivals alternating every two minutes, with scripted "
+                "mid-session abandons at each peak's end"
+            ),
+            config=RunConfig(
+                games=("genshin",), nodes=2, horizon=600, seed=41
+            ),
+            envelope=RateEnvelope((
+                (0.0, 3.0), (120.0, 18.0), (240.0, 3.0),
+                (360.0, 18.0), (480.0, 3.0),
+            )),
+            mix=(("tourist", 0.50), ("organic", 0.30), ("afk", 0.20)),
+            plan_builder=_abandon_storm,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a shipped scenario; unknown names list what exists."""
+    if name not in SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {name!r}; shipped scenarios: "
+            f"{', '.join(scenario_names())}"
+        )
+    return SCENARIOS[name]
+
+
+def scenario_names() -> List[str]:
+    """Shipped scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def generate_scenario(name: str) -> Tuple[FleetResult, TraceRecorder]:
+    """Run one shipped scenario under a recorder.
+
+    Returns the run result and the finalized recorder; callers persist
+    with ``recorder.save(path)``.  Deterministic: the same repo state
+    always produces the same ``.cgtrace`` bytes.
+    """
+    scenario = get_scenario(name)
+    catalog = build_catalog()
+    specs = [catalog[g] for g in scenario.config.games]
+    arrivals = ScenarioArrivals(scenario, specs)
+    return record_run(
+        scenario.config,
+        scenario=scenario.name,
+        plan=scenario.plan(),
+        arrivals=arrivals,
+    )

@@ -1,0 +1,182 @@
+"""The ``.cgtrace`` record vocabulary.
+
+A trace is a header, a sorted body of arrival/stage/fault records, and a
+trailer.  Every record type here is a frozen dataclass with an explicit,
+byte-stable ``to_dict`` — the writer serializes them with canonical JSON
+(sorted keys, no whitespace) so that two recordings of the same run are
+byte-identical.
+
+``*Event`` dataclasses are part of the replay contract (lint rule CG013
+requires them to reach a digest); :func:`repro.trace.format.digest` is
+the payload digest they flow through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = [
+    "SCHEMA",
+    "KNOWN_SCHEMAS",
+    "TraceHeader",
+    "ArrivalEvent",
+    "StageEvent",
+    "FaultScheduleEvent",
+    "TraceTrailer",
+]
+
+#: Current schema identifier, embedded in every header record.
+SCHEMA = "cocg-trace/1"
+
+#: Every schema version this reader understands.
+KNOWN_SCHEMAS: Tuple[str, ...] = (SCHEMA,)
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """The first record of every trace.
+
+    Parameters
+    ----------
+    schema:
+        Format version (``cocg-trace/1``); readers reject unknown ones.
+    scenario:
+        Corpus scenario name, or ``""`` for an ad-hoc recording.
+    seed:
+        The experiment's base seed — session seeds derive from it.
+    config:
+        The run configuration (:class:`repro.trace.harness.RunConfig`
+        payload) that rebuilds the fleet for replay.
+    fingerprint:
+        sha256 over the canonical config JSON; a replay against a
+        different configuration fails loudly instead of diverging.
+    meta:
+        Environment stamps (numpy version, package version) — advisory,
+        excluded from the fingerprint.
+    """
+
+    schema: str
+    scenario: str
+    seed: int
+    config: Dict
+    fingerprint: str
+    meta: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        """JSON payload (``record`` discriminator included)."""
+        return {
+            "record": "header",
+            "schema": self.schema,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "config": self.config,
+            "fingerprint": self.fingerprint,
+            "meta": self.meta,
+        }
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One gateway arrival: everything needed to rebuild the request.
+
+    The player is reconstructed from ``(player, behaviour)`` — scripted
+    behaviours are pure functions of the player id and the game
+    category, so no per-player state needs recording.
+    """
+
+    time: float
+    request_id: int
+    game: str
+    script: str
+    player: str
+    behaviour: str
+    category: str
+
+    def to_dict(self) -> Dict:
+        return {
+            "record": "arrival",
+            "t": self.time,
+            "id": self.request_id,
+            "game": self.game,
+            "script": self.script,
+            "player": self.player,
+            "behaviour": self.behaviour,
+            "category": self.category,
+        }
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One step of a request/session timeline.
+
+    Gateway verdicts (``queued``/``admitted``/``shed``/``dead-lettered``)
+    use ``start == end == time`` (an instant); session stage completions
+    carry the stage's ``[start, end)`` window in *session-elapsed*
+    seconds, with ``time`` the simulation second the completion was
+    observed at.
+    """
+
+    time: float
+    session: str
+    stage: str
+    start: float
+    end: float
+    node: str = ""
+
+    def to_dict(self) -> Dict:
+        out = {
+            "record": "stage",
+            "t": self.time,
+            "session": self.session,
+            "stage": self.stage,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.node:
+            out["node"] = self.node
+        return out
+
+
+@dataclass(frozen=True)
+class FaultScheduleEvent:
+    """One scheduled fault, as its strict ``FaultSpec.to_dict`` payload.
+
+    ``index`` is the fault's position in the plan's ``scheduled()``
+    order — the same index fault attribution (dead letters, lifecycle
+    spans) uses everywhere else.
+    """
+
+    time: float
+    index: int
+    spec: Dict
+
+    def to_dict(self) -> Dict:
+        return {
+            "record": "fault",
+            "t": self.time,
+            "index": self.index,
+            "spec": self.spec,
+        }
+
+
+@dataclass(frozen=True)
+class TraceTrailer:
+    """The last record: integrity and replay contract.
+
+    ``payload_digest`` covers every body line (corruption detection);
+    ``fleet_digest`` is the run's telemetry digest — the value a replay
+    must reproduce byte-for-byte.
+    """
+
+    records: int
+    payload_digest: str
+    fleet_digest: str
+
+    def to_dict(self) -> Dict:
+        return {
+            "record": "trailer",
+            "records": self.records,
+            "payload_digest": self.payload_digest,
+            "fleet_digest": self.fleet_digest,
+        }

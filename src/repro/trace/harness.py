@@ -1,0 +1,316 @@
+"""Run configuration and the record/replay composition helpers.
+
+A :class:`RunConfig` is the JSON-serializable description of one
+gateway-fronted fleet run — games, fleet shape, gateway bounds, profile
+corpus parameters — that a trace header carries.  It is strict both
+ways (defaults elided on write, unknown keys rejected by name on read,
+exactly like :class:`~repro.faults.plan.FaultSpec`), so its canonical
+fingerprint pins the configuration a trace was recorded under.
+
+The helpers compose the rest of the stack from a config:
+:func:`build_profiles` -> :func:`build_cluster` -> :func:`record_run`
+for the recording side, :func:`replay_document`/:func:`replay_path` for
+the replay side.  ``cocg record``/``cocg replay`` and the corpus
+generator are thin wrappers over these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.baselines import (
+    CoCGStrategy,
+    GAugurStrategy,
+    MaxStaticStrategy,
+    ReactiveStrategy,
+    VBPStrategy,
+)
+from repro.cluster.experiment import FleetExperiment, FleetResult
+from repro.cluster.fleet import ClusterScheduler, FleetNode
+from repro.cluster.provisioner import Provisioner, ProvisionerConfig
+from repro.core.pipeline import GameProfile
+from repro.faults.plan import FaultPlan
+from repro.games.catalog import build_catalog
+from repro.serve.gateway import AdmissionGateway, GatewayConfig
+from repro.trace.format import TraceDocument
+from repro.trace.recorder import TraceRecorder
+from repro.trace.replayer import ReplayReport, TraceReplayer
+from repro.util.validation import check_in
+
+__all__ = [
+    "RunConfig",
+    "make_strategy",
+    "build_profiles",
+    "build_cluster",
+    "make_provisioner_factory",
+    "record_run",
+    "replay_document",
+    "replay_path",
+]
+
+_STRATEGY_FACTORIES = {
+    "cocg": CoCGStrategy,
+    "reactive": ReactiveStrategy,
+    "gaugur": GAugurStrategy,
+    "vbp": VBPStrategy,
+    "max-static": MaxStaticStrategy,
+}
+
+
+def make_strategy(name: str):
+    """One fresh scheduling strategy instance by CLI name."""
+    check_in("strategy", name, tuple(sorted(_STRATEGY_FACTORIES)))
+    return _STRATEGY_FACTORIES[name]()
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything needed to rebuild a recorded run's fleet.
+
+    Profile-building parameters (``players``/``sessions``/``backends``)
+    are part of the config because the trained predictors influence
+    admission decisions: a replay must train byte-identical profiles.
+
+    ``fault_seed`` pins the fault plan's stochastic streams; the faults
+    themselves live in the trace body.  ``warm_pool`` attaches a
+    :class:`~repro.cluster.provisioner.Provisioner` with that many
+    pre-booted standbys (``None`` = no capacity plane).
+    """
+
+    games: Tuple[str, ...]
+    nodes: int = 2
+    policy: str = "round-robin"
+    strategy: str = "cocg"
+    horizon: int = 600
+    rate_per_minute: float = 2.0
+    seed: int = 0
+    detect_interval: int = 5
+    players: int = 3
+    sessions: int = 2
+    backends: Tuple[str, ...] = ("dtc",)
+    gateway: bool = True
+    queue_capacity: int = 64
+    rate_limit: float = 4.0
+    burst: int = 8
+    max_queue_seconds: float = 300.0
+    fault_seed: int = 0
+    warm_pool: Optional[int] = None
+
+    #: Keys that may be elided from the payload (everything but games),
+    #: in declaration order — one tuple serves serialization and strict
+    #: deserialization.
+    OPTIONAL_FIELDS = (
+        "nodes", "policy", "strategy", "horizon", "rate_per_minute",
+        "seed", "detect_interval", "players", "sessions", "backends",
+        "gateway", "queue_capacity", "rate_limit", "burst",
+        "max_queue_seconds", "fault_seed", "warm_pool",
+    )
+
+    def __post_init__(self) -> None:
+        if not self.games:
+            raise ValueError("games must be non-empty")
+        object.__setattr__(self, "games", tuple(self.games))
+        object.__setattr__(self, "backends", tuple(self.backends))
+        check_in("policy", self.policy, ClusterScheduler.POLICIES)
+        check_in(
+            "strategy", self.strategy, tuple(sorted(_STRATEGY_FACTORIES))
+        )
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {self.horizon}")
+        if self.warm_pool is not None and self.warm_pool < 0:
+            raise ValueError(
+                f"warm_pool must be >= 0, got {self.warm_pool}"
+            )
+
+    def to_dict(self) -> Dict:
+        """JSON payload (defaults elided — byte-stable fingerprint)."""
+        out: Dict = {"games": list(self.games)}
+        defaults = RunConfig(games=self.games)
+        for name in self.OPTIONAL_FIELDS:
+            value = getattr(self, name)
+            if value != getattr(defaults, name):
+                out[name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @staticmethod
+    def from_dict(data: Dict) -> "RunConfig":
+        """Inverse of :meth:`to_dict`; unknown keys rejected by name."""
+        payload = dict(data)
+        if "games" not in payload:
+            raise ValueError(f"run config has no 'games': {data!r}")
+        games = tuple(str(g) for g in payload.pop("games"))
+        unknown = sorted(set(payload) - set(RunConfig.OPTIONAL_FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown run-config key(s) {unknown}; known keys: games, "
+                f"{', '.join(RunConfig.OPTIONAL_FIELDS)}"
+            )
+        if "backends" in payload:
+            payload["backends"] = tuple(
+                str(b) for b in payload["backends"]
+            )
+        return RunConfig(games=games, **payload)
+
+
+# ---------------------------------------------------------------------------
+# Building blocks
+# ---------------------------------------------------------------------------
+
+def build_profiles(
+    config: RunConfig,
+    catalog: Optional[Dict] = None,
+) -> Dict[str, GameProfile]:
+    """Train the config's game profiles (deterministic in the config)."""
+    catalog = catalog if catalog is not None else build_catalog()
+    unknown = [g for g in config.games if g not in catalog]
+    if unknown:
+        raise ValueError(
+            f"unknown game(s) {unknown}; available: "
+            f"{', '.join(sorted(catalog))}"
+        )
+    return {
+        game: GameProfile.build(
+            catalog[game],
+            n_players=config.players,
+            sessions_per_player=config.sessions,
+            seed=config.seed,
+            backends=config.backends,
+        )
+        for game in config.games
+    }
+
+
+def build_cluster(
+    config: RunConfig, profiles: Dict[str, GameProfile]
+) -> ClusterScheduler:
+    """One fresh fleet per call (gateway attached when configured)."""
+    nodes = [
+        FleetNode(
+            f"node-{i}",
+            make_strategy(config.strategy),
+            profiles,
+            seed=config.seed + i,
+        )
+        for i in range(config.nodes)
+    ]
+    cluster = ClusterScheduler(nodes, policy=config.policy)
+    if config.gateway:
+        gateway = AdmissionGateway(
+            cluster,
+            config=GatewayConfig(
+                queue_capacity=config.queue_capacity,
+                rate_per_second=config.rate_limit,
+                burst=config.burst,
+                max_queue_seconds=config.max_queue_seconds,
+            ),
+        )
+        cluster.attach_gateway(gateway)
+    return cluster
+
+
+def make_provisioner_factory(
+    config: RunConfig, profiles: Dict[str, GameProfile]
+) -> Optional[Callable[[ClusterScheduler], Provisioner]]:
+    """The capacity-plane factory a config implies (None without one)."""
+    if config.warm_pool is None:
+        return None
+
+    def factory(cluster: ClusterScheduler) -> Provisioner:
+        return Provisioner(
+            cluster,
+            lambda node_id: FleetNode(
+                node_id,
+                make_strategy(config.strategy),
+                profiles,
+                seed=config.seed,
+            ),
+            config=ProvisionerConfig(warm_pool_size=config.warm_pool),
+            seed=config.seed,
+        )
+
+    return factory
+
+
+# ---------------------------------------------------------------------------
+# Record / replay
+# ---------------------------------------------------------------------------
+
+def record_run(
+    config: RunConfig,
+    *,
+    scenario: str = "",
+    plan: Optional[FaultPlan] = None,
+    arrivals: Optional[object] = None,
+    profiles: Optional[Dict[str, GameProfile]] = None,
+) -> Tuple[FleetResult, TraceRecorder]:
+    """Run one configured experiment with a recorder attached.
+
+    Returns the run's result and the *finalized* recorder — call
+    ``recorder.save(path)`` to persist the ``.cgtrace``.  ``arrivals``
+    overrides the config's Poisson stream (corpus scenarios pass their
+    shaped load generator); ``plan`` is recorded into the trace and its
+    seed pinned into the config's ``fault_seed``.
+    """
+    if plan is not None and config.fault_seed != plan.seed:
+        config = replace(config, fault_seed=plan.seed)
+    catalog = build_catalog()
+    if profiles is None:
+        profiles = build_profiles(config, catalog)
+    cluster = build_cluster(config, profiles)
+    factory = make_provisioner_factory(config, profiles)
+    recorder = TraceRecorder(
+        seed=config.seed, config=config.to_dict(), scenario=scenario
+    )
+    result = FleetExperiment(
+        cluster,
+        [catalog[g] for g in config.games],
+        horizon=config.horizon,
+        rate_per_minute=config.rate_per_minute,
+        seed=config.seed,
+        detect_interval=config.detect_interval,
+        fault_plan=plan,
+        provisioner=factory(cluster) if factory is not None else None,
+        arrivals=arrivals,
+        trace=recorder,
+    ).run()
+    return result, recorder
+
+
+def replay_document(
+    document: TraceDocument,
+    *,
+    profiles: Optional[Dict[str, GameProfile]] = None,
+    strict: bool = True,
+) -> ReplayReport:
+    """Replay a parsed trace against a fleet rebuilt from its header."""
+    config = RunConfig.from_dict(document.header.config)
+    catalog = build_catalog()
+    if profiles is None:
+        profiles = build_profiles(config, catalog)
+    # The header elides default-valued keys, so resolve horizon and
+    # detect interval through RunConfig rather than the raw dict.
+    replayer = TraceReplayer(
+        document,
+        lambda: build_cluster(config, profiles),
+        {g: catalog[g] for g in config.games},
+        horizon=config.horizon,
+        detect_interval=config.detect_interval,
+        make_provisioner=make_provisioner_factory(config, profiles),
+    )
+    return replayer.run(strict=strict)
+
+
+def replay_path(
+    path: Union[str, Path],
+    *,
+    profiles: Optional[Dict[str, GameProfile]] = None,
+    strict: bool = True,
+) -> ReplayReport:
+    """Load one ``.cgtrace`` file and replay it (the CLI/CI entry)."""
+    return replay_document(
+        TraceDocument.load(path), profiles=profiles, strict=strict
+    )

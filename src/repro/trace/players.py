@@ -1,0 +1,191 @@
+"""Scripted player behaviours: named, parameterized workload classes.
+
+A :class:`PlayerBehaviour` rescales the category-derived user-influence
+knobs of :class:`~repro.games.player.PlayerModel` — stay-duration
+spread, order deviation, burst rate/magnitude — into a recognizable
+play style.  The shipped registry covers the four classes the corpus
+scenarios compose from:
+
+* ``afk`` — parks in scenes for ages, almost never bursts;
+* ``grinder`` — long, methodical sessions that never deviate from the
+  preferred stage order;
+* ``tourist`` — short, erratic visits that skip around;
+* ``raider`` — normal-length sessions with heavy synchronized burst
+  activity (the raid-night fight storm).
+
+Behaviours are *pure functions* of ``(player_id, category, behaviour)``
+— no hidden state — which is what lets a replay rebuild a recorded
+player from two strings in an arrival record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.games.category import GameCategory
+from repro.games.player import PlayerModel
+from repro.util.rng import Seed
+
+__all__ = [
+    "PlayerBehaviour",
+    "ScriptedPlayer",
+    "BEHAVIOURS",
+    "register_behaviour",
+    "get_behaviour",
+    "behaviour_names",
+    "make_player",
+    "behaviour_of",
+]
+
+#: The behaviour every plain :class:`PlayerModel` implicitly has.
+ORGANIC = "organic"
+
+
+@dataclass(frozen=True)
+class PlayerBehaviour:
+    """Multiplicative overrides on the category baseline knobs.
+
+    A scale of 1.0 leaves the category's value untouched; probabilities
+    are clamped back into [0, 1] after scaling.
+    """
+
+    name: str
+    description: str
+    duration_scale: float = 1.0
+    deviate_scale: float = 1.0
+    burst_rate_scale: float = 1.0
+    burst_magnitude_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        for knob in ("duration_scale", "deviate_scale", "burst_rate_scale",
+                     "burst_magnitude_scale"):
+            value = getattr(self, knob)
+            if value < 0:
+                raise ValueError(f"{knob} must be >= 0, got {value}")
+
+
+_BUILTINS: Tuple[PlayerBehaviour, ...] = (
+    PlayerBehaviour(
+        ORGANIC,
+        "category-baseline player (what PoissonArrivals generates)",
+    ),
+    PlayerBehaviour(
+        "afk",
+        "idles in scenes for very long stays; near-zero burst activity",
+        duration_scale=6.0,
+        deviate_scale=0.2,
+        burst_rate_scale=0.05,
+        burst_magnitude_scale=0.5,
+    ),
+    PlayerBehaviour(
+        "grinder",
+        "long, methodical sessions; never deviates from the preferred order",
+        duration_scale=1.6,
+        deviate_scale=0.0,
+    ),
+    PlayerBehaviour(
+        "tourist",
+        "short, erratic visit; skips around and leaves quickly",
+        duration_scale=0.4,
+        deviate_scale=2.5,
+        burst_rate_scale=0.6,
+        burst_magnitude_scale=0.8,
+    ),
+    PlayerBehaviour(
+        "raider",
+        "normal stays with heavy synchronized burst activity (raid fights)",
+        deviate_scale=1.2,
+        burst_rate_scale=4.0,
+        burst_magnitude_scale=1.8,
+    ),
+)
+
+#: Name -> behaviour.  Mutated only through :func:`register_behaviour`.
+BEHAVIOURS: Dict[str, PlayerBehaviour] = {b.name: b for b in _BUILTINS}
+
+
+def register_behaviour(behaviour: PlayerBehaviour) -> PlayerBehaviour:
+    """Add a custom behaviour to the registry (unique name required)."""
+    if behaviour.name in BEHAVIOURS:
+        raise ValueError(
+            f"behaviour {behaviour.name!r} is already registered; "
+            f"known: {', '.join(behaviour_names())}"
+        )
+    BEHAVIOURS[behaviour.name] = behaviour
+    return behaviour
+
+
+def get_behaviour(name: str) -> PlayerBehaviour:
+    """Look a behaviour up by name (KeyError lists the known ones)."""
+    try:
+        return BEHAVIOURS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown behaviour {name!r}; known behaviours: "
+            f"{', '.join(behaviour_names())}"
+        ) from None
+
+
+def behaviour_names() -> Tuple[str, ...]:
+    """Registered behaviour names, sorted."""
+    return tuple(sorted(BEHAVIOURS))
+
+
+class ScriptedPlayer(PlayerModel):
+    """A :class:`PlayerModel` with a named behaviour applied.
+
+    Keeps the player's category-seeded preferred orders (same
+    ``player_id`` -> same preferences) and rescales the influence knobs
+    by the behaviour — a deterministic function of
+    ``(player_id, category, behaviour, seed)``.
+    """
+
+    def __init__(
+        self,
+        player_id: str,
+        category: GameCategory,
+        behaviour: PlayerBehaviour,
+        *,
+        seed: Seed = 0,
+    ):
+        super().__init__(player_id, category, seed=seed)
+        self.behaviour = behaviour.name
+        self.duration_sigma *= behaviour.duration_scale
+        self.deviate_probability = min(
+            1.0, self.deviate_probability * behaviour.deviate_scale
+        )
+        self.burst_rate = min(
+            1.0, self.burst_rate * behaviour.burst_rate_scale
+        )
+        self.burst_magnitude *= behaviour.burst_magnitude_scale
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScriptedPlayer({self.player_id!r}, {self.category.value}, "
+            f"{self.behaviour!r})"
+        )
+
+
+def make_player(
+    player_id: str,
+    category: GameCategory,
+    behaviour: str = ORGANIC,
+    *,
+    seed: Seed = 0,
+) -> PlayerModel:
+    """Build a player for a behaviour name (the replay entry point).
+
+    ``"organic"`` returns a plain :class:`PlayerModel` — byte-identical
+    to what the live load generators construct — so replaying an
+    unscripted recording reproduces the original players exactly.
+    """
+    if behaviour == ORGANIC:
+        return PlayerModel(player_id, category, seed=seed)
+    return ScriptedPlayer(player_id, category, get_behaviour(behaviour),
+                          seed=seed)
+
+
+def behaviour_of(player: PlayerModel) -> str:
+    """The behaviour name a player carries (``organic`` when unscripted)."""
+    return getattr(player, "behaviour", ORGANIC)

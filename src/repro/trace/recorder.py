@@ -1,0 +1,166 @@
+"""The recording half of record/replay.
+
+A :class:`TraceRecorder` rides along a live run behind the nullable
+``trace=`` handle (the same pattern as ``obs=``): the experiment feeds
+it the arrival stream and the fault schedule up front, the gateway and
+the fleet nodes feed it stage records as verdicts land and stages
+complete, and :meth:`finalize` seals the document with the run's fleet
+telemetry digest — the value every replay must reproduce.
+
+Recording is append-only and allocation-light (one frozen dataclass per
+record); the body is sorted once at write time, so the hot path stays
+O(1) per event.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
+
+from repro.trace.events import (
+    SCHEMA,
+    ArrivalEvent,
+    FaultScheduleEvent,
+    StageEvent,
+    TraceHeader,
+)
+from repro.trace.format import TraceDocument, config_fingerprint
+from repro.trace.players import behaviour_of
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from pathlib import Path
+
+    from repro.faults.plan import FaultPlan
+    from repro.workloads.requests import GameRequest
+
+__all__ = ["TraceRecorder"]
+
+
+class TraceRecorder:
+    """Collects one run's records and seals them into a trace.
+
+    Parameters
+    ----------
+    seed:
+        The experiment's base seed (goes into the header).
+    config:
+        JSON-serializable run configuration — conventionally a
+        :class:`repro.trace.harness.RunConfig` payload.  Its canonical
+        fingerprint lands in the header; replays verify it.
+    scenario:
+        Corpus scenario name, or ``""`` for an ad-hoc recording.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        config: Optional[Dict] = None,
+        scenario: str = "",
+    ):
+        config = dict(config) if config is not None else {}
+        self.header = TraceHeader(
+            schema=SCHEMA,
+            scenario=str(scenario),
+            seed=int(seed),
+            config=config,
+            fingerprint=config_fingerprint(config),
+            meta={"numpy": np.__version__},
+        )
+        self._doc = TraceDocument(header=self.header)
+        self._sealed: Optional[TraceDocument] = None
+
+    # ------------------------------------------------------------------
+    # Recording hooks (called by the experiment / gateway / nodes)
+    # ------------------------------------------------------------------
+    def record_arrival(self, request: "GameRequest") -> None:
+        """One gateway arrival (the experiment records all up front)."""
+        self._doc.arrivals.append(ArrivalEvent(
+            time=float(request.arrival),
+            request_id=int(request.request_id),
+            game=request.spec.name,
+            script=request.script or "",
+            player=request.player.player_id,
+            behaviour=behaviour_of(request.player),
+            category=request.spec.category.value,
+        ))
+
+    def record_stage(
+        self,
+        time: float,
+        session: str,
+        stage: str,
+        *,
+        start: float,
+        end: float,
+        node: str = "",
+    ) -> None:
+        """One timeline step: a gateway verdict or a stage completion."""
+        self._doc.stages.append(StageEvent(
+            time=float(time),
+            session=str(session),
+            stage=str(stage),
+            start=float(start),
+            end=float(end),
+            node=str(node),
+        ))
+
+    def record_verdict(
+        self, time: float, request_id: int, verdict: str, node: str = ""
+    ) -> None:
+        """Convenience: a gateway verdict as an instant stage record."""
+        self.record_stage(
+            time, f"r{request_id}", verdict, start=float(time),
+            end=float(time), node=node,
+        )
+
+    def record_plan(self, plan: "FaultPlan") -> None:
+        """The fault schedule, one record per fault in replay order."""
+        for index, spec in enumerate(plan.scheduled()):
+            self._doc.faults.append(FaultScheduleEvent(
+                time=float(spec.time),
+                index=index,
+                spec=spec.to_dict(),
+            ))
+
+    # ------------------------------------------------------------------
+    # Sealing
+    # ------------------------------------------------------------------
+    def finalize(self, fleet_digest: str) -> TraceDocument:
+        """Seal the trace with the run's fleet telemetry digest."""
+        self._sealed = self._doc.sealed(str(fleet_digest))
+        return self._sealed
+
+    @property
+    def finalized(self) -> bool:
+        """Whether :meth:`finalize` has sealed the document."""
+        return self._sealed is not None
+
+    @property
+    def document(self) -> TraceDocument:
+        """The sealed trace (RuntimeError before :meth:`finalize`)."""
+        if self._sealed is None:
+            raise RuntimeError(
+                "trace is not finalized yet — run the experiment first"
+            )
+        return self._sealed
+
+    def save(self, path: "Path | str"):
+        """Write the sealed trace to disk (``*.cgtrace``)."""
+        return self.document.save(path)
+
+    def stats(self) -> Dict[str, int]:
+        """Record counts (for benchmark artifacts)."""
+        return {
+            "arrivals": len(self._doc.arrivals),
+            "stages": len(self._doc.stages),
+            "faults": len(self._doc.faults),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"TraceRecorder(arrivals={s['arrivals']}, stages={s['stages']}, "
+            f"faults={s['faults']}, finalized={self.finalized})"
+        )

@@ -179,8 +179,10 @@ class TestCommands:
         }))
         code = main(["chaos", "--validate", "--plan", str(plan_file)])
         assert code == 1
-        out = capsys.readouterr().out
-        assert "faults[0]" in out and "grace" in out
+        captured = capsys.readouterr()
+        # Diagnostics are routed to stderr; stdout stays report-only.
+        assert "faults[0]" in captured.err and "grace" in captured.err
+        assert "faults[0]" not in captured.out
 
     def test_chaos_validate_rejects_bad_json(self, capsys, tmp_path):
         plan_file = tmp_path / "plan.json"
@@ -200,8 +202,7 @@ class TestCommands:
         ]}))
         code = main(["chaos", "contra", "--plan", str(plan_file)])
         assert code == 2
-        out = capsys.readouterr().out
-        assert "--validate" in out
+        assert "--validate" in capsys.readouterr().err
 
     def test_chaos_reclaim_storm_scenario(self, capsys, tmp_path):
         main([
@@ -219,3 +220,81 @@ class TestCommands:
         assert "reclaim-storm" in out
         assert "(unaccounted: 0)" in out
         assert "WARNING" not in out
+
+
+class TestTraceCommands:
+    """``cocg record`` / ``cocg replay`` / ``cocg corpus``."""
+
+    def test_record_flags(self):
+        args = build_parser().parse_args(
+            ["record", "contra", "-o", "t.cgtrace", "--horizon", "200"]
+        )
+        assert args.command == "record"
+        assert args.output == "t.cgtrace" and args.horizon == 200
+        assert args.warm_pool is None and args.plan is None
+
+    def test_corpus_flags(self):
+        args = build_parser().parse_args(["corpus", "generate", "raid-night"])
+        assert args.action == "generate" and args.names == ["raid-night"]
+        assert args.out == "corpus"
+
+    def test_record_then_replay_round_trip(self, capsys, tmp_path):
+        trace = tmp_path / "run.cgtrace"
+        code = main([
+            "record", "contra", "--horizon", "150", "--seed", "3",
+            "-o", str(trace),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet digest" in out and str(trace) in out
+        assert trace.exists()
+
+        code = main(["replay", str(trace)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "digest match:      yes" in captured.out
+        assert captured.err == ""
+
+    def test_replay_unreadable_trace_errors_to_stderr(self, capsys, tmp_path):
+        missing = tmp_path / "nope.cgtrace"
+        assert main(["replay", str(missing)]) == 2
+        captured = capsys.readouterr()
+        assert str(missing) in captured.err
+        assert captured.out == ""
+
+    def test_replay_tampered_trace_fails(self, capsys, tmp_path):
+        trace = tmp_path / "run.cgtrace"
+        main([
+            "record", "contra", "--horizon", "150", "--seed", "3",
+            "-o", str(trace),
+        ])
+        capsys.readouterr()
+        text = trace.read_text()
+        trace.write_text(text.replace('"fleet_digest":"', '"fleet_digest":"0'))
+        code = main(["replay", str(trace)])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "digest match:      NO" in captured.out
+        assert "diverged" in captured.err
+
+    def test_record_unknown_game_errors_to_stderr(self, capsys, tmp_path):
+        code = main([
+            "record", "nonsuch", "-o", str(tmp_path / "t.cgtrace"),
+        ])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "nonsuch" in captured.err
+
+    def test_corpus_list(self, capsys):
+        assert main(["corpus", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("launch-day", "diurnal-wave", "raid-night",
+                     "mobile-burst"):
+            assert name in out
+
+    def test_corpus_generate_unknown_scenario(self, capsys, tmp_path):
+        code = main([
+            "corpus", "generate", "nonsuch", "--out", str(tmp_path),
+        ])
+        assert code == 2
+        assert "nonsuch" in capsys.readouterr().err
