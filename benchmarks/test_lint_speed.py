@@ -6,10 +6,13 @@ per-file rules, and module summarisation for ~100 files.  The
 content-hash cache makes a warm run skip all of that for unchanged
 files, so the invariant this bench *asserts* (not just reports) is the
 incremental contract: a warm run re-parses nothing — with the effect
-system (CG015–CG018) and the ``effects.json`` export enabled, which
-run entirely from cached summaries — and after touching one module
-only that module is re-analyzed while project findings are still
-recomputed from the full summary set.
+system (CG015–CG018), the shard certification (CG019–CG022), and the
+``effects.json``/``shardplan.json`` exports enabled, which run entirely
+from cached summaries — and after touching one module only that module
+is re-analyzed while project findings are still recomputed from the
+full summary set.  The shard plan additionally has a project-level
+memo keyed on the summary content hashes: a fully warm run serves the
+byte-identical certificate without re-deriving the call graph.
 """
 
 import shutil
@@ -31,7 +34,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 def _timed_lint(tree, cache):
     t0 = time.perf_counter()
-    result = lint_paths([tree], cache=cache, effects=True)
+    result = lint_paths([tree], cache=cache, effects=True, shard_plan=True)
     return result, time.perf_counter() - t0
 
 
@@ -59,6 +62,13 @@ def test_lint_cold_vs_warm(tmp_path):
     assert warm.files_checked == cold.files_checked
     assert cold.effects is not None and warm.effects is not None
     assert warm.effects == cold.effects
+    # Shard-plan memo: the cold run derived the certificate and stored
+    # it keyed on the summary content hashes; the warm run must serve
+    # byte-identical text from the cache with zero re-parses.
+    assert cold.shard_plan is not None and warm.shard_plan is not None
+    assert not cold.shard_plan_from_cache
+    assert warm.shard_plan_from_cache
+    assert warm.shard_plan == cold.shard_plan
 
     # Touch one module: only it may be re-analyzed.  (Project findings
     # are recomputed from summaries either way, so cross-module rules
@@ -69,6 +79,11 @@ def test_lint_cold_vs_warm(tmp_path):
     touch, touch_s = _timed_lint(tree, touch_cache)
     assert touch.ok
     assert touch.files_reparsed == 1
+    # The touched tree is a different summary set, so the shard-plan
+    # memo must miss and the certificate be re-derived (a trailing
+    # comment changes no summary facts, so the bytes still match).
+    assert not touch.shard_plan_from_cache
+    assert touch.shard_plan == cold.shard_plan
 
     rows = [
         ["cold (empty cache)", cold.files_checked, cold.files_reparsed,

@@ -27,6 +27,7 @@ from repro.faults.plan import FaultPlan
 from repro.games.spec import GameSpec
 from repro.obs.observer import Observer
 from repro.sim.engine import SimulationEngine
+from repro.util.effects import shard_entry, shard_merge_point
 from repro.util.rng import Seed, derive_seed
 from repro.workloads.metrics import throughput_eq2
 from repro.workloads.requests import GameRequest, PoissonArrivals
@@ -211,6 +212,7 @@ class FleetExperiment:
             self._base_seed, "s", str(request.request_id), str(incarnation)
         )
 
+    @shard_entry("fleet")
     def run(self) -> FleetResult:
         """Execute the run and aggregate fleet-wide results."""
         engine = SimulationEngine()
@@ -259,6 +261,7 @@ class FleetExperiment:
         return self._aggregate(started_waits, injector)
 
     # ------------------------------------------------------------------
+    @shard_merge_point
     def _aggregate(
         self,
         started_waits: List[float],

@@ -40,6 +40,7 @@ from repro.platform_.profile import PlatformProfile, REFERENCE_PLATFORM
 from repro.platform_.qos import QoSTracker
 from repro.platform_.server import GPUDevice, Server
 from repro.sim.telemetry import TelemetryRecorder
+from repro.util.effects import shard_entry
 from repro.util.rng import Seed, derive_seed
 from repro.util.validation import check_in
 from repro.workloads.requests import GameRequest
@@ -589,6 +590,7 @@ class ClusterScheduler:
         )
         raise KeyError(f"no node {node_id!r}; known nodes: {{{known}}}")
 
+    @shard_entry("fleet")
     def dispatch(
         self,
         request: GameRequest,
@@ -636,6 +638,7 @@ class ClusterScheduler:
             self.backoff_base * self.backoff_factor ** (attempts - 1),
         )
 
+    @shard_entry("fleet")
     def submit(
         self,
         request: GameRequest,
@@ -673,6 +676,7 @@ class ClusterScheduler:
         )
         return True
 
+    @shard_entry("fleet")
     def pump(self, time: float, seed_for) -> List[GameRequest]:
         """One dispatch round over the due part of the retry queue.
 

@@ -4,10 +4,13 @@ A cache entry maps a file's resolved path to the SHA-256 of its bytes,
 the per-file findings it produced, and its whole-program
 :class:`~repro.lint.project.ModuleSummary`.  On a warm run an unchanged
 file is served entirely from the entry — no re-read beyond hashing, no
-re-parse, no rule dispatch — while the project phase always recomputes
-from the (possibly cached) summaries, because graph queries are cheap
-and any changed module can shift reachability for its reverse
-dependencies.
+re-parse, no rule dispatch — while the project *findings* always
+recompute from the (possibly cached) summaries, because graph queries
+are cheap and any changed module can shift reachability for its reverse
+dependencies.  The rendered ``shardplan.json`` certificate is the one
+project-phase artifact that *is* memoised (:func:`project_key` over the
+per-module content digests): on a fully warm run the byte-identical
+text is served without re-deriving the call graph.
 
 The whole store is guarded by a *signature* combining
 :data:`~repro.lint.registry.ANALYZER_VERSION` with the exact rule
@@ -28,7 +31,8 @@ from repro.lint.findings import Finding
 from repro.lint.project import ModuleSummary
 from repro.lint.registry import ANALYZER_VERSION
 
-__all__ = ["CacheEntry", "LintCache", "cache_signature", "content_digest"]
+__all__ = ["CacheEntry", "LintCache", "cache_signature", "content_digest",
+           "project_key"]
 
 _FORMAT = 1
 
@@ -44,6 +48,22 @@ def cache_signature(rule_ids: Iterable[str],
 def content_digest(data: bytes) -> str:
     """SHA-256 hex digest of a file's bytes."""
     return hashlib.sha256(data).hexdigest()
+
+
+def project_key(module_digests: Dict[str, str]) -> str:
+    """One hash over every module's content digest.
+
+    The project-phase facts (call graph → shard plan) are a pure
+    function of the module summaries, which are a pure function of the
+    file contents — so a memo keyed on the sorted
+    ``module:content-digest`` pairs is exact: any changed, added, or
+    removed module changes the key, and nothing else does.
+    """
+    joined = "\n".join(
+        f"{module}:{module_digests[module]}"
+        for module in sorted(module_digests)
+    )
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -84,6 +104,11 @@ class LintCache:
         self.path = path
         self.signature = signature
         self.entries: Dict[str, CacheEntry] = {}
+        #: project-phase memo: :func:`project_key` -> rendered
+        #: ``shardplan.json`` text.  One slot — the latest tree state —
+        #: because the memo only ever serves the warm-run fast path.
+        self._project_key: Optional[str] = None
+        self._project_plan: Optional[str] = None
         self._dirty = False
 
     @classmethod
@@ -106,7 +131,25 @@ class LintCache:
             }
         except (KeyError, TypeError, ValueError):
             cache.entries = {}
+        project = payload.get("project")
+        if (isinstance(project, dict)
+                and isinstance(project.get("key"), str)
+                and isinstance(project.get("shard_plan"), str)):
+            cache._project_key = project["key"]
+            cache._project_plan = project["shard_plan"]
         return cache
+
+    def get_project(self, key: str) -> Optional[str]:
+        """The memoised shard-plan text for an identical summary set."""
+        if self._project_key == key:
+            return self._project_plan
+        return None
+
+    def put_project(self, key: str, shard_plan: str) -> None:
+        """Record the freshly derived project-phase certificate."""
+        self._project_key = key
+        self._project_plan = shard_plan
+        self._dirty = True
 
     def get(self, key: str, digest: str) -> Optional[CacheEntry]:
         """The entry for ``key`` when its content hash still matches."""
@@ -137,6 +180,11 @@ class LintCache:
             "entries": {key: self.entries[key].to_dict()
                         for key in sorted(self.entries)},
         }
+        if self._project_key is not None and self._project_plan is not None:
+            payload["project"] = {
+                "key": self._project_key,
+                "shard_plan": self._project_plan,
+            }
         self.path.write_text(
             json.dumps(payload, indent=1, sort_keys=True) + "\n",
             encoding="utf-8",

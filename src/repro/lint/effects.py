@@ -50,6 +50,12 @@ from repro.lint.dataflow import (
 )
 from repro.lint.project import ProjectContext, ProjectRule
 from repro.lint.registry import ANALYZER_VERSION, register_project
+from repro.lint.shards import (
+    SHARD_ENTRY_PACKAGES,
+    SHARD_ENTRY_TERMINALS,
+    SHARD_EXEMPT_PACKAGES,
+    shard_entry_points,
+)
 
 __all__ = [
     "EFFECT_NAMES",
@@ -211,18 +217,13 @@ def render_effects(project: ProjectContext,
 # ---------------------------------------------------------------------------
 # CG015 — shard safety
 
-
-#: Terminal names that make a ``cluster``/``serve`` function a shard
-#: entry point: ``FleetExperiment.run``, the gateway ``pump``, cluster
-#: ``dispatch``/``submit``.
-_SHARD_ENTRY_TERMINALS = frozenset({"run", "pump", "dispatch", "submit"})
-_SHARD_ENTRY_PACKAGES = ("cluster", "serve")
-
-#: Packages whose in-package writes are the sanctioned exceptions:
-#: ``obs`` *owns* the metrics registry (that is where shared aggregates
-#: are supposed to live), and ``lint`` mutates its rule registries at
-#: import time only.
-_SHARD_EXEMPT_PACKAGES = frozenset({"lint", "obs"})
+# Entry-point discovery and the exemption set live in
+# :mod:`repro.lint.shards` (the shard-interference analyzer) so CG015
+# and the CG019–CG022 certification rules can never disagree about what
+# an entry point is.  Re-exported names keep the old import path alive.
+_SHARD_ENTRY_TERMINALS = SHARD_ENTRY_TERMINALS
+_SHARD_ENTRY_PACKAGES = SHARD_ENTRY_PACKAGES
+_SHARD_EXEMPT_PACKAGES = SHARD_EXEMPT_PACKAGES
 
 
 @register_project
@@ -233,9 +234,10 @@ class ShardSafetyRule(ProjectRule):
     shards running the same code diverge the moment any function on a
     shard-executed path mutates module- or class-level state: the write
     interleaving becomes schedule-dependent and byte-identical replay
-    (CGReplay) is gone.  This rule walks *forward* from every
-    ``run``/``pump``/``dispatch``/``submit`` entry point under
-    ``cluster``/``serve`` and flags each reachable function that stores
+    (CGReplay) is gone.  This rule walks *forward* from every shard
+    entry point — a function decorated ``@shard_entry(...)``, plus the
+    conventional ``run``/``pump``/``dispatch``/``submit`` terminals
+    under ``cluster``/``serve`` — and flags each reachable function that stores
     into module- or class-level bindings, printing the entry-to-write
     call chain.  Writes inside ``obs`` (the metrics registry — the
     sanctioned home for shared aggregates) and ``lint`` (import-time
@@ -256,10 +258,7 @@ class ShardSafetyRule(ProjectRule):
 
     def check(self) -> None:
         inference = infer_effects(self.project)
-        entries = [
-            node for node in self.project.functions_in(*_SHARD_ENTRY_PACKAGES)
-            if node.split("::", 1)[1].split(".")[-1] in _SHARD_ENTRY_TERMINALS
-        ]
+        entries = sorted(shard_entry_points(self.project))
         parents = reach_from(inference.graph, entries)
         for node in sorted(parents):
             mod = self.project.module_of(node)

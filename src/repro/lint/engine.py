@@ -35,9 +35,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Optional, Sequence, Set, Tuple, Type
 
-from repro.lint.cache import CacheEntry, LintCache, content_digest
+from repro.lint.cache import CacheEntry, LintCache, content_digest, project_key
 from repro.lint.findings import Finding
-from repro.lint.pragmas import parse_suppressions
+from repro.lint.pragmas import Suppressions, parse_suppressions
 from repro.lint.project import (
     ModuleSummary,
     ProjectContext,
@@ -46,6 +46,8 @@ from repro.lint.project import (
 from repro.lint.registry import (
     FileContext,
     Rule,
+    all_project_rules,
+    all_rules,
     resolve_project_rules,
     resolve_rules,
 )
@@ -53,6 +55,7 @@ from repro.lint.registry import (
 # Importing the rule modules populates both registries.
 import repro.lint.rules  # noqa: F401  (side-effect import)
 import repro.lint.project_rules  # noqa: F401  (side-effect import)
+import repro.lint.shards as _shards  # registers CG019-CG022
 import repro.lint.effects as _effects  # registers CG015-CG018
 
 __all__ = ["LintResult", "lint_file", "lint_paths", "iter_python_files"]
@@ -77,6 +80,12 @@ class LintResult:
     #: The ``effects.json`` artifact text (sorted, deterministic) when
     #: the run was asked for it (``lint_paths(..., effects=True)``).
     effects: Optional[str] = None
+    #: The ``shardplan.json`` certificate text when the run was asked
+    #: for it (``lint_paths(..., shard_plan=True)``).
+    shard_plan: Optional[str] = None
+    #: True when :attr:`shard_plan` was served from the incremental
+    #: cache's project-phase memo instead of being re-derived.
+    shard_plan_from_cache: bool = False
 
     @property
     def ok(self) -> bool:
@@ -140,6 +149,28 @@ def _rel_parts(file: Path, root: Path) -> tuple[str, ...]:
     return tuple(parts) if parts else (file.name,)
 
 
+def _pragma_hygiene(path: str, suppressions: Suppressions) -> list[Finding]:
+    """CG000 findings for pragmas naming unknown rule ids.
+
+    A ``# lint: disable=CG199`` suppresses nothing — silently.  That is
+    the worst failure mode a suppression system can have (the author
+    believes a rule is off), so an unknown id is a loud CG000-level
+    finding listing the valid ids, exactly like ``--explain`` fails on
+    an unknown id.  CG000 findings are never themselves suppressible.
+    """
+    known = set(all_rules()) | set(all_project_rules()) | {_SYNTAX_RULE_ID}
+    out: list[Finding] = []
+    valid = ", ".join(sorted(known))
+    for line, token in suppressions.declared:
+        if token not in known:
+            out.append(Finding(
+                path=path, line=line, col=1, rule_id=_SYNTAX_RULE_ID,
+                message=(f"pragma names unknown rule id {token!r}; "
+                         f"valid ids: {valid}"),
+            ))
+    return out
+
+
 def _analyze_file(
     file: Path,
     *,
@@ -173,6 +204,7 @@ def _analyze_file(
     for rule_cls in rules:
         if rule_cls.applies_to(ctx):
             rule_cls(ctx).check()
+    ctx.findings.extend(_pragma_hygiene(display, suppressions))
     summary = summarize_module(
         tree, path=display, rel_parts=rel, suppressions=suppressions,
     )
@@ -202,6 +234,7 @@ def lint_paths(
     cache: Optional[LintCache] = None,
     only_paths: Optional[Iterable[object]] = None,
     effects: bool = False,
+    shard_plan: bool = False,
 ) -> LintResult:
     """Lint files and directory trees, both phases.
 
@@ -232,6 +265,14 @@ def lint_paths(
         :attr:`LintResult.effects` (backs ``--effects-out``).  Implies
         nothing about rule selection — the inference runs even when
         CG015–CG018 are deselected.
+    shard_plan:
+        Additionally render the shard-interference certificate
+        (:func:`repro.lint.shards.render_shard_plan`) into
+        :attr:`LintResult.shard_plan` (backs ``--shard-plan-out``).
+        With a cache, the certificate is memoised keyed on the summary
+        content hashes: a warm run with no changed files serves the
+        byte-identical text without re-deriving the call graph
+        (:attr:`LintResult.shard_plan_from_cache`).
     """
     select = list(select) if select is not None else None
     ignore = list(ignore) if ignore is not None else None
@@ -239,6 +280,7 @@ def lint_paths(
     project_rules = resolve_project_rules(select, ignore) if whole_program else []
     result = LintResult()
     summaries: dict[str, ModuleSummary] = {}
+    digests: dict[str, str] = {}
     live_keys: list[str] = []
     keep: Optional[Set[str]] = None
     if only_paths is not None:
@@ -271,9 +313,10 @@ def lint_paths(
         if summary is not None:
             resolved_of[summary.path] = key
             summaries[summary.module] = summary
+            digests[summary.module] = digest
         result.findings.extend(findings)
 
-    if (project_rules or effects) and summaries:
+    if (project_rules or effects or shard_plan) and summaries:
         project = ProjectContext(summaries)
         for rule_cls in project_rules:
             rule = rule_cls(project)
@@ -281,6 +324,17 @@ def lint_paths(
             result.findings.extend(rule.findings)
         if effects:
             result.effects = _effects.render_effects(project)
+        if shard_plan:
+            memo_key = project_key(digests)
+            cached = (cache.get_project(memo_key)
+                      if cache is not None else None)
+            if cached is not None:
+                result.shard_plan = cached
+                result.shard_plan_from_cache = True
+            else:
+                result.shard_plan = _shards.render_shard_plan(project)
+                if cache is not None:
+                    cache.put_project(memo_key, result.shard_plan)
 
     if cache is not None:
         cache.prune(live_keys)

@@ -43,6 +43,12 @@ class Suppressions:
     file_level: set[str] = field(default_factory=set)
     #: line number -> rules disabled on that line (may contain ``"*"``).
     by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: every explicitly named rule token with the line its pragma sits
+    #: on, wildcards excluded — the engine's pragma-hygiene check flags
+    #: tokens that name no registered rule (a typo'd pragma otherwise
+    #: silently suppresses nothing).  Transient: not serialised into
+    #: the incremental cache (the resulting CG000 findings are).
+    declared: list[tuple[int, str]] = field(default_factory=list)
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         """True when ``rule_id`` is disabled at ``line``."""
@@ -86,4 +92,7 @@ def parse_suppressions(source: str) -> Suppressions:
             table.by_line.setdefault(row, set()).update(rules)
         else:
             table.file_level.update(rules)
+        table.declared.extend(
+            (row, rule) for rule in sorted(rules) if rule != _ALL
+        )
     return table

@@ -38,6 +38,8 @@ from repro.lint.pragmas import Suppressions
 __all__ = [
     "CallSite",
     "TaintSite",
+    "EmitSite",
+    "SeedSite",
     "UnorderedLoop",
     "EventClass",
     "FunctionSummary",
@@ -168,6 +170,71 @@ class TaintSite:
 
 
 @dataclass(frozen=True)
+class EmitSite:
+    """One engine ``at``/``after``/``every`` call and its priority.
+
+    The priority is resolved as far as the AST allows:
+
+    * kwarg absent → ``priority=0`` (the documented default band),
+      ``explicit=False``;
+    * integer literal (incl. unary minus) → ``priority=<value>``;
+    * a bare/dotted name → ``ref=<terminal name>`` with ``priority``
+      ``None`` — the shard analyzer resolves it against module-level
+      integer constants;
+    * anything else → ``priority=None`` and ``ref=None`` with
+      ``explicit=True``: a dynamic priority the merge order cannot be
+      proven for (rule CG020).
+    """
+
+    line: int
+    col: int
+    desc: str
+    priority: Optional[int] = 0
+    ref: Optional[str] = None
+    explicit: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view."""
+        return {"line": self.line, "col": self.col, "desc": self.desc,
+                "priority": self.priority, "ref": self.ref,
+                "explicit": self.explicit}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "EmitSite":
+        """Inverse of :meth:`to_dict`."""
+        priority = d.get("priority", 0)
+        return cls(line=int(d["line"]), col=int(d["col"]), desc=d["desc"],
+                   priority=int(priority) if priority is not None else None,
+                   ref=d.get("ref"), explicit=bool(d.get("explicit", False)))
+
+
+@dataclass(frozen=True)
+class SeedSite:
+    """One ``derive_seed(seed, "<namespace>", ...)`` call site.
+
+    ``namespace`` is the first name argument when it is a string
+    literal, ``None`` when it is computed (dynamic namespaces cannot be
+    checked for cross-shard collisions, but they also cannot collide
+    *statically*, so CG021 skips them).
+    """
+
+    line: int
+    col: int
+    namespace: Optional[str]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view."""
+        return {"line": self.line, "col": self.col,
+                "namespace": self.namespace}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SeedSite":
+        """Inverse of :meth:`to_dict`."""
+        return cls(line=int(d["line"]), col=int(d["col"]),
+                   namespace=d.get("namespace"))
+
+
+@dataclass(frozen=True)
 class UnorderedLoop:
     """One iteration over an unordered (or order-fragile) collection."""
 
@@ -228,12 +295,21 @@ class FunctionSummary:
     clock_reads: List[TaintSite] = field(default_factory=list)
     unordered_loops: List[UnorderedLoop] = field(default_factory=list)
     global_writes: List[TaintSite] = field(default_factory=list)
-    engine_emits: List[TaintSite] = field(default_factory=list)
+    engine_emits: List[EmitSite] = field(default_factory=list)
     digest_writes: List[TaintSite] = field(default_factory=list)
     io_sites: List[TaintSite] = field(default_factory=list)
+    #: ``derive_seed(...)`` call sites with their namespace literals.
+    seed_derivations: List[SeedSite] = field(default_factory=list)
+    #: ``as_rng(7)`` / ``default_rng(7)`` — RNG built from a literal
+    #: seed, bypassing ``derive_seed`` namespacing (rule CG021).
+    raw_seed_sites: List[TaintSite] = field(default_factory=list)
     #: ``None`` = undeclared; otherwise the sorted declared effect names.
     declared_effects: Optional[List[str]] = None
     hot_path: bool = False
+    #: ``@shard_entry("<group>")`` decoration, statically read.
+    shard_entry: Optional[str] = None
+    #: ``@shard_merge_point`` decoration, statically read.
+    shard_merge: bool = False
 
     def to_dict(self) -> dict:
         """JSON-serialisable view."""
@@ -249,8 +325,12 @@ class FunctionSummary:
             "engine_emits": [t.to_dict() for t in self.engine_emits],
             "digest_writes": [t.to_dict() for t in self.digest_writes],
             "io_sites": [t.to_dict() for t in self.io_sites],
+            "seed_derivations": [s.to_dict() for s in self.seed_derivations],
+            "raw_seed_sites": [t.to_dict() for t in self.raw_seed_sites],
             "declared_effects": self.declared_effects,
             "hot_path": self.hot_path,
+            "shard_entry": self.shard_entry,
+            "shard_merge": self.shard_merge,
         }
 
     @classmethod
@@ -268,15 +348,21 @@ class FunctionSummary:
                              for u in d["unordered_loops"]],
             global_writes=[TaintSite.from_dict(t)
                            for t in d.get("global_writes", [])],
-            engine_emits=[TaintSite.from_dict(t)
+            engine_emits=[EmitSite.from_dict(t)
                           for t in d.get("engine_emits", [])],
             digest_writes=[TaintSite.from_dict(t)
                            for t in d.get("digest_writes", [])],
             io_sites=[TaintSite.from_dict(t) for t in d.get("io_sites", [])],
+            seed_derivations=[SeedSite.from_dict(s)
+                              for s in d.get("seed_derivations", [])],
+            raw_seed_sites=[TaintSite.from_dict(t)
+                            for t in d.get("raw_seed_sites", [])],
             declared_effects=(list(d["declared_effects"])
                               if d.get("declared_effects") is not None
                               else None),
             hot_path=bool(d.get("hot_path", False)),
+            shard_entry=d.get("shard_entry"),
+            shard_merge=bool(d.get("shard_merge", False)),
         )
 
 
@@ -297,6 +383,10 @@ class ModuleSummary:
     event_classes: List[EventClass] = field(default_factory=list)
     event_constructions: Set[str] = field(default_factory=set)
     defines_digest: bool = False
+    #: module-level ``NAME = <int>`` bindings — the shard analyzer
+    #: resolves named emit priorities (``priority=LIFECYCLE_PRIORITY``)
+    #: against these without importing the module.
+    int_constants: Dict[str, int] = field(default_factory=dict)
     suppressions: Suppressions = field(default_factory=Suppressions)
 
     @property
@@ -318,6 +408,8 @@ class ModuleSummary:
             "event_classes": [e.to_dict() for e in self.event_classes],
             "event_constructions": sorted(self.event_constructions),
             "defines_digest": self.defines_digest,
+            "int_constants": {k: self.int_constants[k]
+                              for k in sorted(self.int_constants)},
             "suppressions": {
                 "file_level": sorted(self.suppressions.file_level),
                 "by_line": {str(k): sorted(v)
@@ -347,6 +439,8 @@ class ModuleSummary:
                            for e in d["event_classes"]],
             event_constructions=set(d["event_constructions"]),
             defines_digest=bool(d["defines_digest"]),
+            int_constants={k: int(v)
+                           for k, v in d.get("int_constants", {}).items()},
             suppressions=sup,
         )
 
@@ -482,6 +576,42 @@ def _module_level_names(tree: ast.Module) -> Set[str]:
     return names
 
 
+def _const_int(node: ast.expr) -> Optional[int]:
+    """The integer value of a literal (incl. unary minus), else ``None``.
+
+    ``True``/``False`` are deliberately excluded: a ``priority=True``
+    emit or ``as_rng(False)`` is not a numeric band / seed literal.
+    """
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const_int(node.operand)
+        return -inner if inner is not None else None
+    if (isinstance(node, ast.Constant)
+            and isinstance(node.value, int)
+            and not isinstance(node.value, bool)):
+        return node.value
+    return None
+
+
+def _module_int_constants(tree: ast.Module) -> Dict[str, int]:
+    """Module-level ``NAME = <int literal>`` bindings."""
+    out: Dict[str, int] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target: ast.expr = stmt.targets[0]
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target = stmt.target
+            value = stmt.value
+        else:
+            continue
+        if not isinstance(target, ast.Name):
+            continue
+        const = _const_int(value)
+        if const is not None:
+            out[target.id] = const
+    return out
+
+
 def _root_name(node: ast.expr) -> Optional[str]:
     """The base ``Name`` of an attribute/subscript chain, if any."""
     while isinstance(node, (ast.Attribute, ast.Subscript)):
@@ -562,16 +692,58 @@ class _Summarizer(ast.NodeVisitor):
         )
         return True, declared, hot
 
+    @staticmethod
+    def _shard_decoration(
+        node: ast.AST,
+    ) -> Tuple[Optional[str], bool]:
+        """Parse ``@shard_entry("g")`` / ``@shard_merge_point``.
+
+        Returns ``(group, is_merge)``; ``(None, False)`` when the
+        decorator is neither marker.  Matched by terminal name, like
+        ``@effects(...)`` — the analyzer never imports the module.
+        """
+        if isinstance(node, ast.Call):
+            terminal = (_dotted(node.func) or "").split(".")[-1]
+            if terminal == "shard_entry":
+                group = next(
+                    (arg.value for arg in node.args
+                     if isinstance(arg, ast.Constant)
+                     and isinstance(arg.value, str)),
+                    None,
+                ) or next(
+                    (kw.value.value for kw in node.keywords
+                     if kw.arg == "group"
+                     and isinstance(kw.value, ast.Constant)
+                     and isinstance(kw.value.value, str)),
+                    None,
+                )
+                if group is not None:
+                    return group, False
+            if terminal == "shard_merge_point":
+                return None, True
+            return None, False
+        terminal = (_dotted(node) or "").split(".")[-1]
+        if terminal == "shard_merge_point":
+            return None, True
+        return None, False
+
     def _handle_function(self, node: ast.AST) -> None:
         name = node.name  # type: ignore[attr-defined]
         if name == "digest":
             self.summary.defines_digest = True
         declared: Optional[List[str]] = None
         hot = False
+        shard_group: Optional[str] = None
+        shard_merge = False
         for dec in node.decorator_list:  # type: ignore[attr-defined]
             is_effects, names, dec_hot = self._effects_decoration(dec)
             if is_effects:
                 declared, hot = names, hot or dec_hot
+                continue
+            group, is_merge = self._shard_decoration(dec)
+            if group is not None or is_merge:
+                shard_group = group if group is not None else shard_group
+                shard_merge = shard_merge or is_merge
             else:
                 # Decorators execute at import time: attribute their
                 # calls (e.g. ``@register``) to the enclosing scope, not
@@ -580,6 +752,8 @@ class _Summarizer(ast.NodeVisitor):
         self._enter_function(node, name)
         self._fn.declared_effects = declared
         self._fn.hot_path = hot
+        self._fn.shard_entry = shard_group
+        self._fn.shard_merge = shard_merge
         self.visit(node.args)  # type: ignore[attr-defined]
         for stmt in node.body:  # type: ignore[attr-defined]
             self.visit(stmt)
@@ -787,6 +961,23 @@ class _Summarizer(ast.NodeVisitor):
         elif len(parts) == 1 and fn in imp.clock_fns:
             self._record_clock(node, f"{fn}() (wall clock)")
 
+    def _emit_priority(
+        self, node: ast.Call,
+    ) -> Tuple[Optional[int], Optional[str], bool]:
+        """``(priority, ref, explicit)`` of an engine-emit call."""
+        for kw in node.keywords:
+            if kw.arg != "priority":
+                continue
+            const = _const_int(kw.value)
+            if const is not None:
+                return const, None, True
+            ref = _dotted(kw.value)
+            if ref is not None and ref != "self" \
+                    and not ref.startswith("self."):
+                return None, ref.split(".")[-1], True
+            return None, None, True
+        return 0, None, False
+
     def _check_effect_seeds(self, node: ast.Call, dotted: str,
                             terminal: str) -> None:
         """Record the engine-emit / digest-write / io / mutation facts."""
@@ -794,9 +985,27 @@ class _Summarizer(ast.NodeVisitor):
                          desc=f"{dotted}()")
         is_method = isinstance(node.func, ast.Attribute)
         if is_method and terminal in _ENGINE_EMIT_METHODS:
-            self._fn.engine_emits.append(TaintSite(
+            priority, ref, explicit = self._emit_priority(node)
+            self._fn.engine_emits.append(EmitSite(
                 site.line, site.col, f"{dotted}() schedules an engine event",
+                priority=priority, ref=ref, explicit=explicit,
             ))
+        if terminal == "derive_seed":
+            namespace = None
+            if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant) \
+                    and isinstance(node.args[1].value, str):
+                namespace = node.args[1].value
+            self._fn.seed_derivations.append(SeedSite(
+                line=site.line, col=site.col, namespace=namespace,
+            ))
+        if terminal in ("as_rng", "default_rng") and node.args:
+            literal = _const_int(node.args[0])
+            if literal is not None:
+                self._fn.raw_seed_sites.append(TaintSite(
+                    site.line, site.col,
+                    f"{dotted}({literal}) builds an RNG from a fixed "
+                    f"literal seed",
+                ))
         if is_method and terminal in _DIGEST_WRITE_METHODS:
             self._fn.digest_writes.append(TaintSite(
                 site.line, site.col,
@@ -870,6 +1079,7 @@ def summarize_module(
     summary.imported_modules = set(imports.modules)
     summary.import_lines = dict(imports.module_lines)
     summary.type_only_imports = _type_only_imports(tree)
+    summary.int_constants = _module_int_constants(tree)
     _Summarizer(summary, imports, tree).visit(tree)
     return summary
 
@@ -933,7 +1143,7 @@ class ProjectContext:
 
 
 class ProjectRule:
-    """Base class for whole-program rules (CG010–CG013).
+    """Base class for whole-program rules (CG010–CG013, CG015–CG022).
 
     Subclasses set :attr:`rule_id`/:attr:`name`/:attr:`description`,
     are registered with

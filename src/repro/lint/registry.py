@@ -37,7 +37,10 @@ __all__ = [
 #: cache signature so stale findings never survive a rule upgrade.
 #: v4: module summaries grew the effect-system facts (global/engine/
 #: digest/io seeds, stream draws, @effects declarations, import lines).
-ANALYZER_VERSION = 4
+#: v5: shard-certification facts (emit priorities, derive_seed
+#: namespaces, raw-seed sites, @shard_entry/@shard_merge_point
+#: decorations, module int constants).
+ANALYZER_VERSION = 5
 
 
 class FileContext:

@@ -50,6 +50,7 @@ from repro.obs.observer import Observer
 from repro.serve.batching import MicroBatcher
 from repro.serve.slo import SloTracker
 from repro.sim.telemetry import TelemetryRecorder
+from repro.util.effects import shard_entry
 from repro.workloads.requests import GameRequest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -457,6 +458,7 @@ class AdmissionGateway:
             return True
         return False
 
+    @shard_entry("fleet")
     def pump(self, time: float, seed_for) -> List[GameRequest]:
         """One rate-limited dispatch round over every queue.
 

@@ -9,7 +9,13 @@
   paper's authors).
 """
 
-from repro.sim.engine import Event, SimulationEngine
+from repro.sim.engine import (
+    Event,
+    ShardPlanError,
+    SimulationEngine,
+    validate_shard_plan,
+)
 from repro.sim.telemetry import TelemetryRecorder, UsageSample
 
-__all__ = ["SimulationEngine", "Event", "TelemetryRecorder", "UsageSample"]
+__all__ = ["SimulationEngine", "Event", "ShardPlanError",
+           "validate_shard_plan", "TelemetryRecorder", "UsageSample"]

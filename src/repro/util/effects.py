@@ -28,6 +28,21 @@ Usage::
 
     @effects("rng", hot_path=True)   # pure-but-RNG *and* on the hot path
     def rollout(...): ...            # (CG018 enforces the purity)
+
+The shard-certification half (rules CG019–CG022 and the
+``shardplan.json`` certificate) uses two more zero-cost markers from
+this module:
+
+* :func:`shard_entry` names a function as the top of one partitioned
+  event stream (``@shard_entry("fleet")``) — the static analyzer walks
+  forward from every entry to classify reachable code as shard-local /
+  shard-shared-read / shard-interfering;
+* :func:`shard_merge_point` marks the one place where cross-shard
+  results are allowed to join (digest aggregation), which is what rule
+  CG022 checks cross-partition telemetry writes against.
+
+Both follow the exact ``@effects`` pattern: one attribute at import
+time, function returned unchanged, read statically by the analyzer.
 """
 
 from __future__ import annotations
@@ -35,7 +50,8 @@ from __future__ import annotations
 from typing import Callable, FrozenSet, Optional, TypeVar
 
 __all__ = ["EFFECTS", "EffectError", "effects", "declared_effects",
-           "is_hot_path"]
+           "is_hot_path", "shard_entry", "shard_entry_group",
+           "shard_merge_point", "is_shard_merge_point"]
 
 #: The effect alphabet, in canonical (report) order.  A signature is a
 #: subset of this; the lattice is subset inclusion with union as join.
@@ -50,9 +66,11 @@ EFFECTS = (
 
 _EFFECT_SET = frozenset(EFFECTS)
 
-#: Attribute names the decorator stores (and the analyzer mirrors).
+#: Attribute names the decorators store (and the analyzer mirrors).
 ATTR_EFFECTS = "__cocg_effects__"
 ATTR_HOT_PATH = "__cocg_hot_path__"
+ATTR_SHARD_ENTRY = "__cocg_shard_entry__"
+ATTR_SHARD_MERGE = "__cocg_shard_merge__"
 
 _F = TypeVar("_F", bound=Callable)
 
@@ -103,3 +121,57 @@ def declared_effects(fn: Callable) -> Optional[FrozenSet[str]]:
 def is_hot_path(fn: Callable) -> bool:
     """Whether ``fn`` was declared ``hot_path=True``."""
     return bool(getattr(fn, ATTR_HOT_PATH, False))
+
+
+def shard_entry(group: str) -> Callable[[_F], _F]:
+    """Declare a function as a shard entry point of partition ``group``.
+
+    A shard entry point is the top of one partitioned event stream —
+    ``FleetExperiment.run``, the gateway ``pump``, cluster
+    ``dispatch``/``submit``.  The shard-interference analyzer
+    (:mod:`repro.lint.shards`) reads the decoration statically, walks
+    forward from every entry, and classifies each reachable function as
+    shard-local, shard-shared-read, or shard-interfering in the
+    ``shardplan.json`` certificate.  Entries in the same ``group``
+    execute on the same partition; rules CG019/CG021/CG022 only fire on
+    state reachable from *distinct* partitions.
+
+    Like :func:`effects`, the decorator stores one attribute at import
+    time and returns the function unchanged — nothing on the call path.
+    The group name is validated eagerly so a typo fails the first
+    import, not a later lint pass.
+    """
+    if not isinstance(group, str) or not group or not group.replace(
+            "-", "_").isidentifier():
+        raise EffectError(
+            f"shard_entry group must be a non-empty identifier-like "
+            f"string, got {group!r}"
+        )
+
+    def decorate(fn: _F) -> _F:
+        setattr(fn, ATTR_SHARD_ENTRY, group)
+        return fn
+
+    return decorate
+
+
+def shard_entry_group(fn: Callable) -> Optional[str]:
+    """The declared shard group, or ``None`` when ``fn`` is not an entry."""
+    return getattr(fn, ATTR_SHARD_ENTRY, None)
+
+
+def shard_merge_point(fn: _F) -> _F:
+    """Mark ``fn`` as the declared merge point for cross-shard results.
+
+    Rule CG022 requires every telemetry/digest sink fed from more than
+    one partition to sit behind a merge-marked function: the one place
+    where per-shard streams are allowed to join in a defined order.
+    Zero runtime cost — one attribute, function returned unchanged.
+    """
+    setattr(fn, ATTR_SHARD_MERGE, True)
+    return fn
+
+
+def is_shard_merge_point(fn: Callable) -> bool:
+    """Whether ``fn`` was marked with :func:`shard_merge_point`."""
+    return bool(getattr(fn, ATTR_SHARD_MERGE, False))

@@ -1,0 +1,20 @@
+"""Two partitioned entry streams sharing one read-only helper."""
+
+from repro.util.effects import shard_entry
+
+_PRIO_DRIVE = -10
+
+
+@shard_entry("east")
+def run_east(engine, fleet):
+    engine.at(0.0, lambda e: None, priority=_PRIO_DRIVE)
+    return plan_step(fleet)
+
+
+@shard_entry("west")
+def run_west(engine, fleet):
+    return plan_step(fleet)
+
+
+def plan_step(fleet):
+    return sorted(fleet)

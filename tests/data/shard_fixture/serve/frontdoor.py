@@ -1,0 +1,13 @@
+"""A conventional fleet entry whose tally blocks partitioning."""
+
+WINDOW = {"seen": 0}
+
+
+def pump(queue):
+    for _ in queue:
+        tally()
+    return WINDOW["seen"]
+
+
+def tally():
+    WINDOW["seen"] += 1

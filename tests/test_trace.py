@@ -213,8 +213,12 @@ class TestScriptedPlayers:
             assert 0.0 <= player.burst_rate <= 1.0
 
     def test_register_rejects_duplicates(self):
-        with pytest.raises(ValueError, match="afk"):
+        with pytest.raises(ValueError, match="afk") as excinfo:
             register_behaviour(PlayerBehaviour("afk", "dup"))
+        # The collision error names every registered behaviour, sorted,
+        # so the caller can see what is taken without a second query.
+        assert f"known: {', '.join(behaviour_names())}" in str(excinfo.value)
+        assert list(behaviour_names()) == sorted(behaviour_names())
         assert "afk" in BEHAVIOURS
 
     def test_behaviour_validation(self):
