@@ -1,0 +1,106 @@
+"""Fleet-of-fleets scaling bench: shard throughput and merge overhead.
+
+Runs the same base configuration as a fleet of N ∈ {1, 2, 4, 8}
+regional shards, timing the partitioned regional execution separately
+from the cross-shard merge.  Claims checked (the ISSUE's acceptance
+bar):
+
+* the ``@shard_merge_point`` aggregation is cheap: merge wall time is
+  **< 10 %** of the total at every N;
+* every N produces a non-empty merged digest, and the per-N digests
+  are mutually distinct (regions really change the partition);
+* sessions complete at every N (the shards do real scheduling work).
+
+Timings land in ``BENCH_fleet.json`` (the CI ``fleet-smoke`` artifact):
+sessions/sec and requests/sec per N, plus the merge fraction.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.fleet import FleetOfFleets, RegionSpec
+from repro.sim import run_partitioned
+from repro.trace.harness import RunConfig
+
+SEED = 11
+SHARD_COUNTS = (1, 2, 4, 8)
+MAX_MERGE_FRACTION = 0.10
+
+CONFIG = RunConfig(
+    games=("contra", "dota2"),
+    nodes=2,
+    horizon=900,
+    rate_per_minute=6.0,
+    seed=SEED,
+    players=2,
+    sessions=2,
+    gateway=False,
+)
+
+
+def measure(n: int) -> dict:
+    """One fleet-of-fleets run at N shards, run and merge timed apart."""
+    fleet = FleetOfFleets(
+        CONFIG, [RegionSpec(f"r{i}") for i in range(n)]
+    )
+    shards = fleet.build_shards()  # profile training kept out of timings
+    t0 = time.perf_counter()
+    outcomes = run_partitioned(
+        {name: shards[name].run for name in sorted(shards)}
+    )
+    run_seconds = time.perf_counter() - t0
+    t1 = time.perf_counter()
+    result = fleet.merge(outcomes)
+    merge_seconds = time.perf_counter() - t1
+    total = run_seconds + merge_seconds
+    sessions = sum(result.completed_runs.values())
+    requests = sum(result.requests_routed.values())
+    return {
+        "regions": n,
+        "sessions": sessions,
+        "requests": requests,
+        "run_seconds": round(run_seconds, 4),
+        "merge_seconds": round(merge_seconds, 4),
+        "merge_fraction": round(merge_seconds / total, 4),
+        "sessions_per_second": round(sessions / total, 2),
+        "requests_per_second": round(requests / total, 2),
+        "merged_digest": result.merged_digest,
+    }
+
+
+def test_fleet_shard_scaling():
+    rows = [measure(n) for n in SHARD_COUNTS]
+
+    stats = {
+        "config": CONFIG.to_dict(),
+        "shards": rows,
+    }
+    Path("BENCH_fleet.json").write_text(
+        json.dumps(stats, indent=2, sort_keys=True) + "\n"
+    )
+
+    header = (f"{'N':>2} {'requests':>8} {'sessions':>8} "
+              f"{'run s':>7} {'merge s':>8} {'merge %':>8} {'sess/s':>7}")
+    print("\n" + header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['regions']:>2} {row['requests']:>8} "
+              f"{row['sessions']:>8} {row['run_seconds']:>7.2f} "
+              f"{row['merge_seconds']:>8.4f} "
+              f"{row['merge_fraction']:>7.1%} "
+              f"{row['sessions_per_second']:>7.1f}")
+
+    for row in rows:
+        assert row["merge_fraction"] < MAX_MERGE_FRACTION, (
+            f"N={row['regions']}: merge took {row['merge_fraction']:.1%} "
+            f"of the run (bar: {MAX_MERGE_FRACTION:.0%})"
+        )
+        assert row["merged_digest"]
+        assert row["sessions"] > 0, f"N={row['regions']}: nothing completed"
+    digests = [row["merged_digest"] for row in rows]
+    assert len(set(digests)) == len(digests), (
+        "different shard counts must partition the fleet differently"
+    )

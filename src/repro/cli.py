@@ -9,7 +9,9 @@ Four subcommands cover the operator workflow the paper describes:
 * ``cocg colocate GAME [GAME …]`` — run a co-location experiment under a
   chosen strategy and print throughput/QoS;
 * ``cocg fleet GAME [GAME …]`` — dispatch Poisson arrivals over a small
-  heterogeneous fleet;
+  heterogeneous fleet; ``--regions N`` runs the fleet-of-fleets instead:
+  N independent regional shards behind the consistent-hash session
+  router, merged into one cross-shard digest (``docs/FLEET.md``);
 * ``cocg serve GAME [GAME …]`` — the fleet behind the serve-layer
   admission gateway: bounded queues, rate limiting, micro-batched
   Algorithm-1 dispatch, per-category SLO report (``docs/SERVE.md``);
@@ -36,6 +38,11 @@ Four subcommands cover the operator workflow the paper describes:
 Diagnostics (bad plans, unknown games/scenarios, digest mismatches) go
 to stderr; stdout carries only the requested report, so piping
 ``cocg … | tee`` captures clean output.
+
+``cocg fleet`` and ``cocg serve`` certify the shard-plan certificate
+(the packaged ``shardplan.json``, or ``--shard-plan PATH``) against the
+runtime's registered entry points before starting; a stale or
+undecorated certificate fails fast with exit code 2.
 
 Run ``python -m repro.cli --help`` (or the installed ``cocg`` script).
 """
@@ -70,6 +77,27 @@ _STRATEGIES = ("cocg", "reactive", "gaugur", "vbp", "max-static")
 def _err(message: str) -> None:
     """Print an error diagnostic to stderr (stdout stays report-only)."""
     print(message, file=sys.stderr)
+
+
+def _certify_or_fail(args) -> int:
+    """Startup shard-plan certification shared by fleet/serve.
+
+    Returns 0 when the certificate matches the runtime's registered
+    entry points, 2 (with the full problem list on stderr) when it is
+    stale, undecorated, or unreadable.
+    """
+    from repro.fleet import certify_runtime
+    from repro.sim import ShardPlanError
+
+    path = getattr(args, "shard_plan", None)
+    try:
+        certify_runtime(path)
+    except (ShardPlanError, OSError, ValueError) as exc:
+        _err(f"shard-plan certification failed: {exc}")
+        _err("hint: regenerate with `cocg lint src/ --shard-plan-out "
+             "src/repro/shardplan.json`")
+        return 2
+    return 0
 
 
 def _make_strategy(name: str):
@@ -194,9 +222,50 @@ def cmd_colocate(args) -> int:
     return 0
 
 
+def _cmd_fleet_regions(args) -> int:
+    """The ``cocg fleet --regions N`` path: the fleet-of-fleets."""
+    from repro.fleet import FleetOfFleets, RegionSpec
+    from repro.trace import RunConfig
+
+    if args.heterogeneous:
+        _err("note: --heterogeneous is ignored with --regions "
+             "(regional shards run the reference platform)")
+    try:
+        config = RunConfig(
+            games=tuple(args.games),
+            nodes=args.nodes,
+            policy=args.policy,
+            strategy=args.strategy,
+            horizon=args.horizon,
+            rate_per_minute=args.rate,
+            seed=args.seed,
+            players=args.players,
+            sessions=args.sessions,
+            gateway=False,
+        )
+        regions = [RegionSpec(f"r{i}") for i in range(args.regions)]
+        result = FleetOfFleets(config, regions).run()
+    except ValueError as exc:
+        _err(str(exc))
+        return 2
+    print(f"\nfleet-of-fleets: {args.regions} regions x {args.nodes} "
+          f"nodes, policy={args.policy}")
+    print(f"throughput (Eq 2):  {result.throughput:,.0f} game-seconds")
+    print(f"completed runs:     {result.completed_runs}")
+    print(f"{'region':8} {'routed':>7} {'completed':>10} digest")
+    for name in sorted(result.regions):
+        outcome = result.regions[name]
+        print(f"  {name:8} {result.requests_routed.get(name, 0):>5} "
+              f"{sum(outcome.result.completed_runs.values()):>10} "
+              f"{outcome.digest[:16]}…")
+    print(f"merged digest:      {result.merged_digest}")
+    return 0
+
+
 def cmd_fleet(args) -> int:
     """``cocg fleet``: Poisson arrivals over a (possibly heterogeneous)
-    fleet of CoCG- or baseline-scheduled nodes."""
+    fleet of CoCG- or baseline-scheduled nodes; ``--regions N`` runs
+    the sharded fleet-of-fleets instead."""
     from repro.cluster import ClusterScheduler, FleetExperiment, FleetNode
     from repro.games.catalog import build_catalog
     from repro.platform_.profile import (
@@ -205,6 +274,11 @@ def cmd_fleet(args) -> int:
         WEAK_GPU_PLATFORM,
     )
 
+    rc = _certify_or_fail(args)
+    if rc:
+        return rc
+    if args.regions > 1:
+        return _cmd_fleet_regions(args)
     catalog = build_catalog()
     profiles = _load_or_build_profiles(args.games, args)
     platforms = [REFERENCE_PLATFORM, WEAK_GPU_PLATFORM, BIG_SERVER_PLATFORM]
@@ -246,6 +320,9 @@ def cmd_serve(args) -> int:
     from repro.obs import Observer
     from repro.serve import AdmissionGateway, GatewayConfig, RolloutCache
 
+    rc = _certify_or_fail(args)
+    if rc:
+        return rc
     catalog = build_catalog()
     profiles = _load_or_build_profiles(args.games, args)
     obs = Observer() if getattr(args, "obs_out", None) else None
@@ -685,6 +762,13 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--players", type=int, default=4)
     f.add_argument("--sessions", type=int, default=3)
     f.add_argument("--profiles-dir", help="cache profiles here")
+    f.add_argument("--regions", type=int, default=1, metavar="N",
+                   help="run N regional shards behind the consistent-hash "
+                        "session router (fleet-of-fleets; default 1 = the "
+                        "classic single fleet)")
+    f.add_argument("--shard-plan", metavar="PATH",
+                   help="shard-plan certificate to certify against "
+                        "(default: the packaged shardplan.json)")
     f.set_defaults(func=cmd_fleet)
 
     s = sub.add_parser(
@@ -713,6 +797,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--obs-out", metavar="DIR",
                    help="attach the observability pipeline and write "
                         "metrics.prom + trace.json here")
+    s.add_argument("--shard-plan", metavar="PATH",
+                   help="shard-plan certificate to certify against "
+                        "(default: the packaged shardplan.json)")
     s.set_defaults(func=cmd_serve)
 
     ch = sub.add_parser(

@@ -35,7 +35,7 @@ from repro.workloads.requests import GameRequest, PoissonArrivals
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.trace.recorder import TraceRecorder
 
-__all__ = ["FleetResult", "FleetExperiment"]
+__all__ = ["FleetResult", "FleetExperiment", "default_arrivals"]
 
 # Same-second event ordering (lower = earlier): faults are visible to
 # everything else at that second; control precedes dispatch precedes the
@@ -44,6 +44,32 @@ _PRIO_SUBMIT = -30
 _PRIO_CONTROL = -20
 _PRIO_PUMP = -10
 _PRIO_TICK = 10
+
+
+def default_arrivals(
+    specs: Sequence[GameSpec],
+    *,
+    rate_per_minute: float = 1.0,
+    seed: Seed = 0,
+    horizon: float = 3600.0,
+    id_base: int = 0,
+) -> PoissonArrivals:
+    """The experiment's default open-loop arrival stream.
+
+    This is the one place the ``"arrivals"`` seed namespace is minted,
+    so both a plain :class:`FleetExperiment` and a
+    :class:`repro.fleet.FleetOfFleets` region generating its own load
+    draw from streams derived the same way (and the CG021 namespace
+    stays single-owner).  ``id_base`` offsets request ids — regional
+    generators pass disjoint bases so merged streams never collide.
+    """
+    return PoissonArrivals(
+        specs,
+        rate_per_minute=rate_per_minute,
+        seed=derive_seed(seed, "arrivals"),
+        horizon=float(horizon),
+        id_base=id_base,
+    )
 
 
 @dataclass
@@ -199,10 +225,10 @@ class FleetExperiment:
                 )
             self.arrivals = arrivals
         else:
-            self.arrivals = PoissonArrivals(
+            self.arrivals = default_arrivals(
                 self.specs,
                 rate_per_minute=rate_per_minute,
-                seed=derive_seed(self._base_seed, "arrivals"),
+                seed=self._base_seed,
                 horizon=float(horizon),
             )
 
@@ -212,7 +238,7 @@ class FleetExperiment:
             self._base_seed, "s", str(request.request_id), str(incarnation)
         )
 
-    @shard_entry("fleet")
+    @shard_entry("region:fleet")
     def run(self) -> FleetResult:
         """Execute the run and aggregate fleet-wide results."""
         engine = SimulationEngine()
@@ -238,17 +264,20 @@ class FleetExperiment:
         for request in self.arrivals.requests:
             t_sub = min(int(request.arrival), self.horizon - 1)
 
-            def submit(engine, request=request):
+            # Named to stay out of the conventional run/pump/dispatch/
+            # submit entry terminals: these closures execute *inside*
+            # the stream FleetExperiment.run tops, they do not open one.
+            def submit_arrival(engine, request=request):
                 self.cluster.submit(request, time=engine.now)
 
-            engine.at(float(t_sub), submit, priority=_PRIO_SUBMIT)
+            engine.at(float(t_sub), submit_arrival, priority=_PRIO_SUBMIT)
 
-        def pump(engine) -> None:
+        def pump_queue(engine) -> None:
             for request in self.cluster.pump(engine.now, self._session_seed):
                 started_waits.append(max(0.0, engine.now - request.arrival))
 
         for t in range(0, self.horizon, self.detect_interval):
-            engine.at(float(t), pump, priority=_PRIO_PUMP)
+            engine.at(float(t), pump_queue, priority=_PRIO_PUMP)
         for t in range(self.horizon):
             engine.at(float(t), lambda e, t=t: self.cluster.tick(t),
                       priority=_PRIO_TICK)

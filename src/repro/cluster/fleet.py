@@ -590,7 +590,7 @@ class ClusterScheduler:
         )
         raise KeyError(f"no node {node_id!r}; known nodes: {{{known}}}")
 
-    @shard_entry("fleet")
+    @shard_entry("region:fleet")
     def dispatch(
         self,
         request: GameRequest,
@@ -638,7 +638,7 @@ class ClusterScheduler:
             self.backoff_base * self.backoff_factor ** (attempts - 1),
         )
 
-    @shard_entry("fleet")
+    @shard_entry("region:fleet")
     def submit(
         self,
         request: GameRequest,
@@ -676,7 +676,7 @@ class ClusterScheduler:
         )
         return True
 
-    @shard_entry("fleet")
+    @shard_entry("region:fleet")
     def pump(self, time: float, seed_for) -> List[GameRequest]:
         """One dispatch round over the due part of the retry queue.
 

@@ -1,0 +1,48 @@
+"""Fleet-of-fleets: regional shards behind a consistent-hash router.
+
+The top layer of the stack: a :class:`FleetOfFleets` owns N regional
+shards — each a fully independent partition with its own event stream,
+cluster, provisioner, and :func:`~repro.util.rng.region_seed`-spaced
+randomness — fronted by a :class:`SessionRouter` that consistent-hashes
+players onto regions over a :class:`HashRing`.  Regional streams
+execute independently and meet only in the ``@shard_merge_point``
+aggregator, which folds them into one canonical cross-shard digest; at
+N=1 the whole construction reduces byte-for-byte to the classic single
+:class:`~repro.cluster.experiment.FleetExperiment`.  Startup
+certification (:func:`certify_runtime`) refuses to run a fleet whose
+``shardplan.json`` certificate no longer matches the registered entry
+points.  See ``docs/FLEET.md``.
+"""
+
+from repro.fleet.certify import (
+    certify_runtime,
+    load_certificate,
+    runtime_entry_points,
+)
+from repro.fleet.controller import (
+    FleetOfFleets,
+    FleetOfFleetsResult,
+    RegionOutcome,
+    RegionShard,
+    RegionSpec,
+)
+from repro.fleet.plans import region_node_id, region_outage_plan
+from repro.fleet.ring import HashRing, ring_point
+from repro.fleet.router import RoutedArrivals, SessionRouter
+
+__all__ = [
+    "HashRing",
+    "ring_point",
+    "SessionRouter",
+    "RoutedArrivals",
+    "RegionSpec",
+    "RegionShard",
+    "RegionOutcome",
+    "FleetOfFleets",
+    "FleetOfFleetsResult",
+    "region_outage_plan",
+    "region_node_id",
+    "certify_runtime",
+    "load_certificate",
+    "runtime_entry_points",
+]

@@ -1,0 +1,55 @@
+"""Region-scoped fault plans.
+
+Regional shards name their nodes ``<region>/node-<i>`` (see
+:func:`~repro.trace.harness.build_cluster`), so a fault plan scoped to
+one region is just a plan whose node targets carry that prefix.  The
+one genuinely new failure mode a fleet-of-fleets adds over a single
+fleet is *losing a whole region at once* — :func:`region_outage_plan`
+builds that as simultaneous crashes of every node in the region, which
+the chaos suite then expects the surviving regions to ride out
+untouched (shard isolation: their digests must not change).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.plan import FaultPlan
+
+__all__ = ["region_outage_plan", "region_node_id"]
+
+
+def region_node_id(region: str, index: int) -> str:
+    """The canonical node id of node ``index`` in ``region``."""
+    return f"{region}/node-{index}"
+
+
+def region_outage_plan(
+    region: str,
+    node_count: int,
+    at: float,
+    *,
+    seed: int = 0,
+    recover_after: Optional[float] = None,
+    requeue: bool = True,
+) -> FaultPlan:
+    """A whole-region outage: every node crashes at ``at``.
+
+    ``recover_after`` brings the region back that many seconds later
+    (all nodes at once — a region failover, not a rolling restart);
+    ``requeue=False`` drops displaced requests instead of re-queueing
+    them on the region's own retry queue.
+    """
+    if not region:
+        raise ValueError("region must be non-empty")
+    if node_count < 1:
+        raise ValueError(f"node_count must be >= 1, got {node_count}")
+    plan = FaultPlan(seed=seed)
+    for i in range(node_count):
+        plan = plan.node_crash(
+            at,
+            region_node_id(region, i),
+            recover_after=recover_after,
+            requeue=requeue,
+        )
+    return plan

@@ -1,0 +1,129 @@
+"""Consistent-hash ring over regional shards.
+
+The ring is the routing substrate of :class:`~repro.fleet.SessionRouter`:
+each region owns ``~replicas * weight`` virtual points on a 64-bit
+circle, and a key lands on the region owning the first point clockwise
+of the key's own point.  Points come from SHA-256, never from Python's
+``hash()`` — the builtin is salted per process (``PYTHONHASHSEED``), so
+a ring built on it would route the same player differently across
+machines and replays.
+
+Two properties the property tests in ``tests/test_fleet.py`` pin:
+
+* **balance** — with equal weights, each of N regions receives ~1/N of
+  a uniform key population (within a generous tolerance);
+* **stability** — adding or removing one region moves only the keys
+  adjacent to that region's points: at most ~K/N of K keys, never a
+  global reshuffle.  Rings are immutable; :meth:`HashRing.with_region`
+  and :meth:`HashRing.without_region` derive the neighbouring topology.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Mapping, Tuple
+
+__all__ = ["HashRing", "ring_point"]
+
+#: Virtual points per unit of weight (the classic consistent-hashing
+#: replica count; higher = smoother balance, slower construction).
+DEFAULT_REPLICAS = 64
+
+
+def ring_point(data: str) -> int:
+    """A stable 64-bit ring position for ``data``.
+
+    First 8 bytes of SHA-256, big-endian — identical on every platform,
+    Python version, and process (unlike ``hash()``).
+    """
+    digest = hashlib.sha256(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """An immutable weighted consistent-hash ring.
+
+    Parameters
+    ----------
+    weights:
+        Region name -> relative weight (> 0).  A weight of 2.0 gives a
+        region twice the vnode count — and so roughly twice the keys —
+        of a weight-1.0 region.
+    replicas:
+        Vnodes per unit weight.
+    """
+
+    def __init__(
+        self,
+        weights: Mapping[str, float],
+        *,
+        replicas: int = DEFAULT_REPLICAS,
+    ):
+        if not weights:
+            raise ValueError("ring needs at least one region")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        for name in sorted(weights):
+            if not name or not name.replace("-", "_").isidentifier():
+                raise ValueError(
+                    f"region name must be identifier-like (dashes ok), "
+                    f"got {name!r}"
+                )
+            if not weights[name] > 0:
+                raise ValueError(
+                    f"region {name!r} weight must be > 0, "
+                    f"got {weights[name]!r}"
+                )
+        self._weights = {name: float(weights[name])
+                         for name in sorted(weights)}
+        self._replicas = int(replicas)
+        points: List[Tuple[int, str]] = []
+        for name in sorted(self._weights):
+            vnodes = max(1, round(self._replicas * self._weights[name]))
+            for k in range(vnodes):
+                points.append((ring_point(f"{name}#{k}"), name))
+        # Ties (two vnodes at one point) are astronomically rare but the
+        # ring must still be a function of its inputs alone: break them
+        # by region name.
+        points.sort()
+        self._points = points
+        self._keys = [p for p, _ in points]
+
+    # ------------------------------------------------------------------
+    @property
+    def regions(self) -> Tuple[str, ...]:
+        """Region names, sorted."""
+        return tuple(self._weights)
+
+    @property
+    def weights(self) -> Mapping[str, float]:
+        """Region -> weight (sorted, read-only copy)."""
+        return dict(self._weights)
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def route(self, key: str) -> str:
+        """The region owning ``key`` (first vnode clockwise of it)."""
+        h = ring_point(key)
+        idx = bisect.bisect_right(self._keys, h) % len(self._keys)
+        return self._points[idx][1]
+
+    # ------------------------------------------------------------------
+    def with_region(self, name: str, weight: float = 1.0) -> "HashRing":
+        """A new ring with ``name`` joined (bounded key movement)."""
+        if name in self._weights:
+            raise ValueError(f"region {name!r} already on the ring")
+        joined = dict(self._weights)
+        joined[name] = float(weight)
+        return HashRing(joined, replicas=self._replicas)
+
+    def without_region(self, name: str) -> "HashRing":
+        """A new ring with ``name`` left (its keys spread to survivors)."""
+        if name not in self._weights:
+            raise ValueError(f"region {name!r} not on the ring")
+        if len(self._weights) == 1:
+            raise ValueError("cannot remove the last region")
+        rest = {n: w for n, w in self._weights.items() if n != name}
+        return HashRing(rest, replicas=self._replicas)

@@ -1,0 +1,101 @@
+"""Session routing: one global arrival stream -> per-region streams.
+
+The :class:`SessionRouter` fronts a fleet-of-fleets: every incoming
+:class:`~repro.workloads.requests.GameRequest` is assigned to exactly
+one regional shard by consistent-hashing its player id on a
+:class:`~repro.fleet.ring.HashRing`.  Hashing the *player* (not the
+request) keeps a player's sessions on one region — the cloud-gaming
+locality property the paper's co-location profiles assume — while the
+ring keeps assignment stable under region join/leave.
+
+Routing is a pure function of (ring topology, player id): the split of
+a stream is byte-reproducible, and with a single region it is the
+identity — the whole stream, original order — which is what reduces an
+N=1 fleet-of-fleets to the classic single fleet.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.fleet.ring import DEFAULT_REPLICAS, HashRing
+from repro.workloads.requests import GameRequest
+
+__all__ = ["SessionRouter", "RoutedArrivals"]
+
+
+def _player_key(request: GameRequest) -> str:
+    return request.player.player_id
+
+
+class RoutedArrivals:
+    """One region's slice of a routed arrival stream.
+
+    Quacks like :class:`~repro.workloads.requests.PoissonArrivals`
+    (``requests`` + ``due``) so it drops straight into
+    :class:`~repro.cluster.experiment.FleetExperiment`'s ``arrivals=``
+    handle.  Requests keep their global ids and arrival times; only
+    membership changed.
+    """
+
+    def __init__(self, requests: Sequence[GameRequest]):
+        self.requests: List[GameRequest] = list(requests)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def due(self, t0: float, t1: float) -> List[GameRequest]:
+        """Requests arriving in ``[t0, t1)``."""
+        return [r for r in self.requests if t0 <= r.arrival < t1]
+
+
+class SessionRouter:
+    """Consistent-hash request routing over named regions.
+
+    Parameters
+    ----------
+    weights:
+        Region name -> capacity weight (vnode share on the ring).
+    replicas:
+        Ring vnodes per unit weight.
+    key:
+        Routing key extractor; default is the request's player id.
+    """
+
+    def __init__(
+        self,
+        weights: Mapping[str, float],
+        *,
+        replicas: int = DEFAULT_REPLICAS,
+        key: Optional[Callable[[GameRequest], str]] = None,
+    ):
+        self.ring = HashRing(weights, replicas=replicas)
+        self._key = key if key is not None else _player_key
+
+    @property
+    def regions(self) -> tuple:
+        """Region names, sorted."""
+        return self.ring.regions
+
+    def region_of(self, request: GameRequest) -> str:
+        """The region one request routes to."""
+        return self.ring.route(self._key(request))
+
+    def split(
+        self, requests: Sequence[GameRequest]
+    ) -> Dict[str, RoutedArrivals]:
+        """Partition a stream into per-region sub-streams.
+
+        Every region appears in the result (possibly empty); each
+        sub-stream preserves the source order, so per-region arrival
+        sequences are deterministic given the ring.
+        """
+        buckets: Dict[str, List[GameRequest]] = {
+            name: [] for name in self.ring.regions
+        }
+        for request in requests:
+            buckets[self.region_of(request)].append(request)
+        return {
+            name: RoutedArrivals(buckets[name])
+            for name in self.ring.regions
+        }

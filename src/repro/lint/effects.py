@@ -362,11 +362,13 @@ LAYERS: Dict[str, int] = {
     "core": 4,
     "baselines": 5, "workloads": 5, "analysis": 5,
     "cluster": 6, "faults": 6, "serve": 6, "trace": 6,
+    "fleet": 7,
 }
 
 _DAG_TEXT = (
     "util < obs/mlkit/streaming/lint < platform_ < sim/games < core "
-    "< baselines/workloads/analysis < cluster/faults/serve/trace"
+    "< baselines/workloads/analysis < cluster/faults/serve/trace "
+    "< fleet"
 )
 
 

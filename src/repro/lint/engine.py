@@ -116,9 +116,9 @@ def iter_python_files(paths: Sequence[Path]) -> list[tuple[Path, Path]]:
 
 #: Top-level subpackages of ``repro`` that path-scoped rules key on.
 _KNOWN_SUBPACKAGES = {
-    "analysis", "baselines", "cluster", "core", "faults", "games",
-    "lint", "mlkit", "platform_", "serve", "sim", "streaming", "util",
-    "workloads",
+    "analysis", "baselines", "cluster", "core", "faults", "fleet",
+    "games", "lint", "mlkit", "platform_", "serve", "sim", "streaming",
+    "util", "workloads",
 }
 
 

@@ -54,10 +54,11 @@ ORDER_SINKS = frozenset({
 })
 
 #: Subpackages whose behaviour is replay-checked byte-for-byte.
-DETERMINISM_PACKAGES = ("serve", "cluster", "sim", "faults", "trace")
+DETERMINISM_PACKAGES = ("serve", "cluster", "sim", "faults", "trace",
+                        "fleet")
 
 #: Packages whose event dataclasses must reach the fleet digest.
-EVENT_PACKAGES = ("serve", "faults", "sim", "trace")
+EVENT_PACKAGES = ("serve", "faults", "sim", "trace", "fleet")
 
 
 def _is_rng_module(module: str) -> bool:

@@ -65,6 +65,7 @@ __all__ = [
     "SHARD_ENTRY_PACKAGES",
     "SHARD_EXEMPT_PACKAGES",
     "DEFAULT_GROUP",
+    "shard_family",
     "SHARD_CLASSES",
     "ShardAnalysis",
     "shard_analysis",
@@ -93,6 +94,21 @@ SHARD_EXEMPT_PACKAGES = frozenset({"lint", "obs"})
 #: tree is one partition; the next PR splits it per region by
 #: decorating entries into distinct groups.
 DEFAULT_GROUP = "fleet"
+
+
+def shard_family(group: str) -> str:
+    """The partition *family* of an entry group.
+
+    Groups spell either a bare partition name (``"fleet"`` — its own
+    family) or ``family:member`` (``"region:controller"``).  Entries
+    whose groups share a family run on replicas of the same partition
+    template — the regional shards of one fleet — so code reachable
+    from several of them is still local to each replica's heap, never
+    contended between heaps.  Locality (and rules CG019/CG022) is
+    therefore judged per family, while the certificate's entry table
+    keeps the full ``family:member`` spelling.
+    """
+    return group.split(":", 1)[0]
 
 #: Classification lattice, best to worst.
 SHARD_CLASSES = ("shard_local", "shard_shared_read", "shard_interfering")
@@ -164,17 +180,24 @@ class ShardAnalysis:
         return sites[0].desc if sites else None
 
     def groups_of(self, node: str) -> Tuple[str, ...]:
-        """Sorted distinct shard groups whose entries reach ``node``."""
+        """Sorted distinct shard *families* whose entries reach ``node``.
+
+        ``family:member`` groups collapse to their family
+        (:func:`shard_family`): the members are replicas of one
+        partition template, not partitions that can race each other.
+        """
         return tuple(sorted({
-            self.entries[e] for e in self.reached_by.get(node, ())
+            shard_family(self.entries[e])
+            for e in self.reached_by.get(node, ())
         }))
 
     def classification(self, node: str) -> Optional[str]:
         """The shard class of a function (``None`` when unreachable).
 
-        Locality is per shard *group*, not per entry function: two
-        entries in the same group feed the same partitioned heap, so
-        code they share is still local to that shard.
+        Locality is per shard *family*, not per entry function: two
+        entries in the same family feed (replicas of) the same
+        partitioned heap, so code they share is still local to that
+        shard.
         """
         entries = self.reached_by.get(node)
         if not entries:
@@ -333,6 +356,9 @@ def render_shard_plan(project: ProjectContext,
         "counts": {
             "entry_points": len(analysis.entries),
             "groups": len(set(analysis.entries.values())),
+            "families": len({
+                shard_family(g) for g in analysis.entries.values()
+            }),
             "reachable_functions": len(functions),
             "modules": len(module_class),
             "partition_safe_modules": sum(
@@ -612,7 +638,7 @@ class CrossShardDigestWrite(ProjectRule):
             for group in groups:
                 entry = next(
                     e for e in analysis.reached_by[node]
-                    if analysis.entries[e] == group
+                    if shard_family(analysis.entries[e]) == group
                 )
                 chain = analysis.chain_from(entry, node)
                 chains.append(chain)

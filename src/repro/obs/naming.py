@@ -45,6 +45,9 @@ __all__ = [
     "CLUSTER_LIFECYCLE",
     "PROVISION_LATENCY",
     "PROVISION_EVENTS",
+    # fleet
+    "FLEET_ROUTED",
+    "FLEET_COMPLETED",
     # faults
     "FAULTS_INJECTED",
     # qos
@@ -144,6 +147,15 @@ PROVISION_EVENTS = "cluster_provision_events_total"
 #: Fixed provision-latency buckets (seconds).  Fixed — never derived
 #: from observed data — so two runs bucket identically by construction.
 PROVISION_BUCKETS = (5.0, 10.0, 20.0, 30.0, 45.0, 60.0, 90.0, 120.0, 300.0)
+
+# ----------------------------------------------------------------------
+# fleet/ — the fleet-of-fleets controller
+# ----------------------------------------------------------------------
+
+#: Requests the session router assigned to each shard; label ``region``.
+FLEET_ROUTED = "fleet_requests_routed_total"
+#: Sessions completed per regional shard; label ``region``.
+FLEET_COMPLETED = "fleet_sessions_completed_total"
 
 # ----------------------------------------------------------------------
 # faults/ — the injector

@@ -458,7 +458,7 @@ class AdmissionGateway:
             return True
         return False
 
-    @shard_entry("fleet")
+    @shard_entry("region:fleet")
     def pump(self, time: float, seed_for) -> List[GameRequest]:
         """One rate-limited dispatch round over every queue.
 

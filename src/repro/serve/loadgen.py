@@ -44,6 +44,10 @@ class OpenLoopLoadGen:
         Distinct :class:`PlayerModel` instances per game; requests reuse
         them round-robin, bounding model-construction cost at any
         request count.
+    id_base:
+        First request id of the stream.  Regional shards generating
+        their own load pass disjoint bases so merged streams keep
+        globally unique ids.
     """
 
     def __init__(
@@ -54,6 +58,7 @@ class OpenLoopLoadGen:
         seed: Seed = 0,
         horizon: float = 3600.0,
         player_pool: int = 32,
+        id_base: int = 0,
     ):
         if not specs:
             raise ValueError("specs must be non-empty")
@@ -63,6 +68,8 @@ class OpenLoopLoadGen:
             )
         if player_pool < 1:
             raise ValueError(f"player_pool must be >= 1, got {player_pool}")
+        if id_base < 0:
+            raise ValueError(f"id_base must be >= 0, got {id_base}")
         self.specs = list(specs)
         rng = as_rng(seed)
         players: Dict[str, List[PlayerModel]] = {
@@ -75,7 +82,7 @@ class OpenLoopLoadGen:
         self.requests: List[GameRequest] = []
         expected = int(rate_per_second * horizon)
         t = 0.0
-        i = 0
+        i = int(id_base)
         while True:
             # Draw gaps in chunks: same stream for any chunk size is NOT
             # guaranteed across numpy versions for mixed draw kinds, so
@@ -96,7 +103,7 @@ class OpenLoopLoadGen:
                     int(script_u[k] * len(spec.scripts))
                 ].name
                 pool = players[spec.name]
-                # Stream-local ids (0..n-1), like PoissonArrivals.
+                # Stream-local ids (id_base..), like PoissonArrivals.
                 self.requests.append(
                     GameRequest(spec, script, pool[i % len(pool)], t, i)
                 )
@@ -131,9 +138,10 @@ class ClosedLoopLoadGen:
         *,
         seed: Seed = 0,
         target: int = 1,
+        id_base: int = 0,
     ):
         self._backlog = ContinuousBacklog(
-            specs, seed=seed, max_concurrent=target
+            specs, seed=seed, max_concurrent=target, id_base=id_base
         )
         self.generated = 0
 

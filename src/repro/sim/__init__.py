@@ -13,9 +13,11 @@ from repro.sim.engine import (
     Event,
     ShardPlanError,
     SimulationEngine,
+    run_partitioned,
     validate_shard_plan,
 )
 from repro.sim.telemetry import TelemetryRecorder, UsageSample
 
 __all__ = ["SimulationEngine", "Event", "ShardPlanError",
-           "validate_shard_plan", "TelemetryRecorder", "UsageSample"]
+           "validate_shard_plan", "run_partitioned",
+           "TelemetryRecorder", "UsageSample"]

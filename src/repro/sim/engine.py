@@ -256,3 +256,36 @@ def validate_shard_plan(
             "shard plan validation failed:\n  "
             + "\n  ".join(sorted(problems))
         )
+
+
+def run_partitioned(
+    streams: Mapping[str, Callable[[], object]],
+) -> "dict[str, object]":
+    """Execute independent per-partition event streams, canonically.
+
+    ``streams`` maps a partition name (a regional shard) to a thunk that
+    runs that partition's entire simulation and returns its result.
+    Partitions are executed in sorted-name order — today sequentially,
+    but nothing a thunk does may depend on that: each partition owns its
+    own :class:`SimulationEngine`, RNG namespace, and telemetry, so the
+    result of the whole call is a pure function of the set of thunks,
+    not of execution order.  The merged-digest tests in
+    ``tests/test_fleet.py`` hold this seam to that contract.
+
+    Returns the results keyed by partition name.  Raises ``ValueError``
+    on an empty mapping or a non-identifier-unfriendly name containing
+    ``:`` (reserved for shard-group family spelling).
+    """
+    names = sorted(streams)
+    if not names:
+        raise ValueError("run_partitioned needs at least one stream")
+    for name in names:
+        if not name or ":" in name:
+            raise ValueError(
+                f"partition name must be non-empty and ':'-free, "
+                f"got {name!r}"
+            )
+    return {name: streams[name]() for name in names}
+
+
+__all__.append("run_partitioned")

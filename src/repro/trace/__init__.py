@@ -41,6 +41,7 @@ from repro.trace.harness import (
     RunConfig,
     build_cluster,
     build_profiles,
+    experiment_seed,
     record_run,
     replay_document,
     replay_path,
@@ -92,6 +93,7 @@ __all__ = [
     "ReplayReport",
     "TraceReplayer",
     "RunConfig",
+    "experiment_seed",
     "build_profiles",
     "build_cluster",
     "record_run",

@@ -37,11 +37,13 @@ from repro.serve.gateway import AdmissionGateway, GatewayConfig
 from repro.trace.format import TraceDocument
 from repro.trace.recorder import TraceRecorder
 from repro.trace.replayer import ReplayReport, TraceReplayer
+from repro.util.rng import region_seed
 from repro.util.validation import check_in
 
 __all__ = [
     "RunConfig",
     "make_strategy",
+    "experiment_seed",
     "build_profiles",
     "build_cluster",
     "make_provisioner_factory",
@@ -77,6 +79,14 @@ class RunConfig:
     themselves live in the trace body.  ``warm_pool`` attaches a
     :class:`~repro.cluster.provisioner.Provisioner` with that many
     pre-booted standbys (``None`` = no capacity plane).
+
+    ``region`` names the regional shard this run belongs to (empty =
+    the classic unsharded fleet).  A region prefixes every node id
+    (``east/node-0``) and namespaces the experiment seed through
+    :func:`~repro.util.rng.region_seed`, so per-region sub-traces of a
+    sharded run replay through the ordinary machinery while staying
+    byte-distinct across regions; ``seed`` stays the fleet-wide base so
+    profile training is shared.
     """
 
     games: Tuple[str, ...]
@@ -97,6 +107,7 @@ class RunConfig:
     max_queue_seconds: float = 300.0
     fault_seed: int = 0
     warm_pool: Optional[int] = None
+    region: str = ""
 
     #: Keys that may be elided from the payload (everything but games),
     #: in declaration order — one tuple serves serialization and strict
@@ -105,7 +116,7 @@ class RunConfig:
         "nodes", "policy", "strategy", "horizon", "rate_per_minute",
         "seed", "detect_interval", "players", "sessions", "backends",
         "gateway", "queue_capacity", "rate_limit", "burst",
-        "max_queue_seconds", "fault_seed", "warm_pool",
+        "max_queue_seconds", "fault_seed", "warm_pool", "region",
     )
 
     def __post_init__(self) -> None:
@@ -124,6 +135,11 @@ class RunConfig:
         if self.warm_pool is not None and self.warm_pool < 0:
             raise ValueError(
                 f"warm_pool must be >= 0, got {self.warm_pool}"
+            )
+        if self.region and not self.region.replace("-", "_").isidentifier():
+            raise ValueError(
+                f"region must be an identifier-like name (dashes ok), "
+                f"got {self.region!r}"
             )
 
     def to_dict(self) -> Dict:
@@ -160,6 +176,19 @@ class RunConfig:
 # Building blocks
 # ---------------------------------------------------------------------------
 
+def experiment_seed(config: RunConfig) -> int:
+    """The run's experiment seed: the base seed, region-namespaced.
+
+    Profile training always uses ``config.seed`` directly (shared
+    across a sharded fleet); everything downstream of admission — node
+    RNGs, session seeds, fault streams — uses this value, so regional
+    shards of one fleet diverge deterministically.
+    """
+    if config.region:
+        return region_seed(config.seed, config.region)
+    return config.seed
+
+
 def build_profiles(
     config: RunConfig,
     catalog: Optional[Dict] = None,
@@ -187,13 +216,21 @@ def build_profiles(
 def build_cluster(
     config: RunConfig, profiles: Dict[str, GameProfile]
 ) -> ClusterScheduler:
-    """One fresh fleet per call (gateway attached when configured)."""
+    """One fresh fleet per call (gateway attached when configured).
+
+    A regioned config prefixes node ids (``east/node-0``) and offsets
+    node seeds from the region-namespaced experiment seed, so two
+    regions of one sharded fleet never share node identity or node
+    randomness.
+    """
+    prefix = f"{config.region}/" if config.region else ""
+    base = experiment_seed(config)
     nodes = [
         FleetNode(
-            f"node-{i}",
+            f"{prefix}node-{i}",
             make_strategy(config.strategy),
             profiles,
-            seed=config.seed + i,
+            seed=base + i,
         )
         for i in range(config.nodes)
     ]
@@ -219,6 +256,8 @@ def make_provisioner_factory(
     if config.warm_pool is None:
         return None
 
+    seed = experiment_seed(config)
+
     def factory(cluster: ClusterScheduler) -> Provisioner:
         return Provisioner(
             cluster,
@@ -226,10 +265,10 @@ def make_provisioner_factory(
                 node_id,
                 make_strategy(config.strategy),
                 profiles,
-                seed=config.seed,
+                seed=seed,
             ),
             config=ProvisionerConfig(warm_pool_size=config.warm_pool),
-            seed=config.seed,
+            seed=seed,
         )
 
     return factory
@@ -263,14 +302,15 @@ def record_run(
     cluster = build_cluster(config, profiles)
     factory = make_provisioner_factory(config, profiles)
     recorder = TraceRecorder(
-        seed=config.seed, config=config.to_dict(), scenario=scenario
+        seed=experiment_seed(config), config=config.to_dict(),
+        scenario=scenario,
     )
     result = FleetExperiment(
         cluster,
         [catalog[g] for g in config.games],
         horizon=config.horizon,
         rate_per_minute=config.rate_per_minute,
-        seed=config.seed,
+        seed=experiment_seed(config),
         detect_interval=config.detect_interval,
         fault_plan=plan,
         provisioner=factory(cluster) if factory is not None else None,

@@ -136,16 +136,25 @@ def shard_entry(group: str) -> Callable[[_F], _F]:
     execute on the same partition; rules CG019/CG021/CG022 only fire on
     state reachable from *distinct* partitions.
 
+    Groups come in two spellings: a bare name (``"fleet"``) or a
+    ``family:member`` pair (``"region:controller"``).  The part before
+    the colon is the group's *partition family*: entries whose groups
+    share a family execute on (replicas of) the same partition
+    template, so the analyzer treats code they share as shard-local —
+    one regional heap never races its own clone.  Distinct families
+    are genuinely distinct partitions.
+
     Like :func:`effects`, the decorator stores one attribute at import
     time and returns the function unchanged — nothing on the call path.
     The group name is validated eagerly so a typo fails the first
     import, not a later lint pass.
     """
-    if not isinstance(group, str) or not group or not group.replace(
-            "-", "_").isidentifier():
+    parts = group.split(":") if isinstance(group, str) else []
+    if not (1 <= len(parts) <= 2) or not all(
+            p and p.replace("-", "_").isidentifier() for p in parts):
         raise EffectError(
             f"shard_entry group must be a non-empty identifier-like "
-            f"string, got {group!r}"
+            f"string or a 'family:member' pair, got {group!r}"
         )
 
     def decorate(fn: _F) -> _F:

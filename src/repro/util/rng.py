@@ -108,3 +108,19 @@ def derive_seed(seed: Seed, *names: str) -> int:
 
 
 __all__.append("derive_seed")
+
+
+def region_seed(seed: Seed, name: str) -> int:
+    """The seed of one regional shard's randomness.
+
+    Every stream a region owns — arrivals, session seeds, node
+    telemetry noise — descends from ``derive_seed(seed, "region",
+    name)``, so two regions of the same fleet never draw correlated
+    samples and a region is replayable from ``(base seed, name)``
+    alone.  Centralised here so the ``"region"`` namespace has exactly
+    one owner (rule CG021 flags namespaces shared across modules).
+    """
+    return derive_seed(seed, "region", name)
+
+
+__all__.append("region_seed")

@@ -64,6 +64,11 @@ class ContinuousBacklog:
         Randomness for script choice and players.
     max_concurrent:
         Concurrent runs allowed per game (paper pair experiments: 1).
+    id_base:
+        First request id this stream issues.  Streams that may be
+        merged (one per regional shard) must be given disjoint bases —
+        request ids seed sessions and name them, so two shards both
+        issuing id 0 would collide in the merged digest.
     """
 
     def __init__(
@@ -72,11 +77,14 @@ class ContinuousBacklog:
         *,
         seed: Seed = 0,
         max_concurrent: int = 1,
+        id_base: int = 0,
     ):
         if not specs:
             raise ValueError("specs must be non-empty")
         if max_concurrent < 1:
             raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        if id_base < 0:
+            raise ValueError(f"id_base must be >= 0, got {id_base}")
         self.specs = list(specs)
         self.max_concurrent = int(max_concurrent)
         self._base = seed if isinstance(seed, int) or seed is None else 0
@@ -84,7 +92,7 @@ class ContinuousBacklog:
         # stream's call history, never of process-global state, so two
         # identical runs in one process replay identical ids (and hence
         # identical session ids, seeds, and telemetry digests).
-        self._next_id = itertools.count()
+        self._next_id = itertools.count(int(id_base))
         self._running: Dict[str, int] = {s.name: 0 for s in self.specs}
         self._players: Dict[str, PlayerModel] = {
             s.name: PlayerModel(f"live-{s.name}", s.category, seed=0) for s in self.specs
@@ -137,6 +145,10 @@ class PoissonArrivals:
         Stream seed.
     horizon:
         Total seconds to generate.
+    id_base:
+        First request id (and player-name suffix) of the stream.
+        Regional shards generating their own load pass disjoint bases
+        so merged streams keep globally unique ids.
     """
 
     def __init__(
@@ -146,15 +158,18 @@ class PoissonArrivals:
         rate_per_minute: float = 1.0,
         seed: Seed = 0,
         horizon: float = 7200.0,
+        id_base: int = 0,
     ):
         if not specs:
             raise ValueError("specs must be non-empty")
         if rate_per_minute <= 0:
             raise ValueError(f"rate_per_minute must be > 0, got {rate_per_minute}")
+        if id_base < 0:
+            raise ValueError(f"id_base must be >= 0, got {id_base}")
         rng = as_rng(seed)
         self.requests: List[GameRequest] = []
         t = 0.0
-        i = 0
+        i = int(id_base)
         while True:
             t += rng.exponential(60.0 / rate_per_minute)
             if t >= horizon:
@@ -162,8 +177,9 @@ class PoissonArrivals:
             spec = specs[int(rng.integers(len(specs)))]
             script = spec.scripts[int(rng.integers(len(spec.scripts)))].name
             player = PlayerModel(f"arr-{spec.name}-{i}", spec.category, seed=0)
-            # Stream-local ids (0..n-1): identical construction args give
-            # identical ids no matter what ran earlier in the process.
+            # Stream-local ids (id_base..id_base+n-1): identical
+            # construction args give identical ids no matter what ran
+            # earlier in the process.
             self.requests.append(GameRequest(spec, script, player, t, i))
             i += 1
 
